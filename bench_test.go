@@ -1,0 +1,369 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (regenerating its data through the experiment registry) plus ablation
+// benchmarks for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report figure-of-merit metrics (latency spreads, bandwidth
+// ratios, fairness ratios...) via b.ReportMetric so the bench output
+// doubles as the reproduction's summary table.
+package gpunoc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpunoc"
+	"gpunoc/internal/bandwidth"
+	"gpunoc/internal/core"
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/kernel"
+	"gpunoc/internal/microbench"
+	"gpunoc/internal/noc"
+	"gpunoc/internal/rsa"
+	"gpunoc/internal/sidechannel"
+	"gpunoc/internal/stats"
+)
+
+// runExperiment executes a registry experiment b.N times in quick mode.
+func runExperiment(b *testing.B, id string, cfg gpu.Config) {
+	b.Helper()
+	e, err := core.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := core.NewContext(cfg, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B)                { runExperiment(b, "table1", gpu.V100()) }
+func BenchmarkFig01Latency(b *testing.B)          { runExperiment(b, "fig1", gpu.V100()) }
+func BenchmarkFig02Histogram(b *testing.B)        { runExperiment(b, "fig2", gpu.V100()) }
+func BenchmarkFig03SortedOrder(b *testing.B)      { runExperiment(b, "fig3", gpu.V100()) }
+func BenchmarkFig04Floorplan(b *testing.B)        { runExperiment(b, "fig4", gpu.V100()) }
+func BenchmarkFig05PlacementLatency(b *testing.B) { runExperiment(b, "fig5", gpu.V100()) }
+
+func BenchmarkFig06Heatmap(b *testing.B) {
+	for _, cfg := range gpu.AllConfigs() {
+		b.Run(string(cfg.Name), func(b *testing.B) { runExperiment(b, "fig6", cfg) })
+	}
+}
+
+func BenchmarkFig07CPC(b *testing.B) { runExperiment(b, "fig7", gpu.H100()) }
+
+func BenchmarkFig08Partitions(b *testing.B) {
+	for _, cfg := range gpu.AllConfigs() {
+		b.Run(string(cfg.Name), func(b *testing.B) { runExperiment(b, "fig8", cfg) })
+	}
+}
+
+func BenchmarkFig09Bandwidth(b *testing.B) {
+	runExperiment(b, "fig9", gpu.V100())
+	// Report the headline fabric-to-memory ratio.
+	ctx, err := core.NewContext(gpu.V100(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fabric, err := microbench.AggregateFabricBandwidth(ctx.Engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := microbench.MemoryBandwidth(ctx.Engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(fabric/mem, "fabric/mem")
+}
+
+func BenchmarkFig10Speedup(b *testing.B) {
+	for _, cfg := range gpu.AllConfigs() {
+		b.Run(string(cfg.Name), func(b *testing.B) { runExperiment(b, "fig10", cfg) })
+	}
+}
+
+func BenchmarkFig11LinkTree(b *testing.B) { runExperiment(b, "fig11", gpu.V100()) }
+func BenchmarkFig12NearFar(b *testing.B)  { runExperiment(b, "fig12", gpu.A100()) }
+
+func BenchmarkFig13BWDistribution(b *testing.B) {
+	for _, cfg := range []gpu.Config{gpu.A100(), gpu.H100()} {
+		b.Run(string(cfg.Name), func(b *testing.B) { runExperiment(b, "fig13", cfg) })
+	}
+}
+
+func BenchmarkFig14Saturation(b *testing.B) { runExperiment(b, "fig14", gpu.A100()) }
+func BenchmarkFig15Placement(b *testing.B)  { runExperiment(b, "fig15", gpu.V100()) }
+func BenchmarkFig16Traffic(b *testing.B)    { runExperiment(b, "fig16", gpu.V100()) }
+func BenchmarkFig17Coalescing(b *testing.B) { runExperiment(b, "fig17", gpu.A100()) }
+func BenchmarkFig18AES(b *testing.B)        { runExperiment(b, "fig18", gpu.V100()) }
+func BenchmarkFig19RSA(b *testing.B)        { runExperiment(b, "fig19", gpu.A100()) }
+func BenchmarkFig20Pattern(b *testing.B)    { runExperiment(b, "fig20", gpu.V100()) }
+
+func BenchmarkFig21Backpressure(b *testing.B) {
+	runExperiment(b, "fig21", gpu.V100())
+	res, err := noc.RunGPUSim(noc.DefaultGPUSimConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MemUtilization, "mem-util")
+}
+
+func BenchmarkFig22NetworkWall(b *testing.B) { runExperiment(b, "fig22", gpu.V100()) }
+
+func BenchmarkFig23MeshFairness(b *testing.B) {
+	runExperiment(b, "fig23", gpu.V100())
+	rr, err := noc.RunFairness(noc.DefaultFairnessConfig(noc.RoundRobin, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	age, err := noc.RunFairness(noc.DefaultFairnessConfig(noc.AgeBased, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rr.MaxMinRatio, "rr-ratio")
+	b.ReportMetric(age.MaxMinRatio, "age-ratio")
+}
+
+// --- Extension benchmarks ------------------------------------------------------
+
+// Extension 1 (Sec. VI-C): hierarchical crossbar vs mesh fairness.
+func BenchmarkExt1CrossbarFairness(b *testing.B) {
+	runExperiment(b, "ext1", gpu.V100())
+	xbar, err := noc.RunXbarFairness(noc.DefaultXbarFairnessConfig(noc.RoundRobin, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(xbar.MaxMinRatio, "xbar-rr-ratio")
+}
+
+// Extension 2 (Sec. V-A): slice-contention covert channel.
+func BenchmarkExt2CovertChannel(b *testing.B) { runExperiment(b, "ext2", gpu.V100()) }
+
+// Extension 3 (Sec. VI-B): series-bottleneck audit.
+func BenchmarkExt3Bottleneck(b *testing.B) { runExperiment(b, "ext3", gpu.H100()) }
+
+// Extension 4: working-set latency sweep with the residency-modelled L2.
+func BenchmarkExt4WorkingSet(b *testing.B) { runExperiment(b, "ext4", gpu.V100()) }
+
+// --- Ablation benchmarks (DESIGN.md) -----------------------------------------
+
+// Ablation 1: floorplan-driven latency vs flat latency. With the wire
+// term zeroed, the non-uniformity of Observation #1 vanishes.
+func BenchmarkAblationFlatLatency(b *testing.B) {
+	spread := func(cfg gpu.Config) float64 {
+		dev, err := gpu.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var xs []float64
+		for s := 0; s < cfg.L2Slices; s++ {
+			xs = append(xs, dev.L2HitLatencyMean(24, s))
+		}
+		sum := stats.Summarize(xs)
+		return sum.Max - sum.Min
+	}
+	base := gpu.V100()
+	flat := gpu.V100()
+	flat.Cal.WireRTT = 0
+	var s1, s2 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1, s2 = spread(base), spread(flat)
+	}
+	b.ReportMetric(s1, "spread-floorplan")
+	b.ReportMetric(s2, "spread-flat")
+}
+
+// Ablation 2: Little's-law regime. With effectively unlimited MLP the
+// near/far single-SM bandwidth gap of Fig. 14 disappears (capacity binds
+// instead of latency).
+func BenchmarkAblationLittlesLaw(b *testing.B) {
+	dev, err := gpu.New(gpu.A100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gap := func(mutate func(*bandwidth.Profile)) float64 {
+		prof, err := bandwidth.ProfileFor(dev.Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(&prof)
+		}
+		eng, err := bandwidth.NewEngineWithProfile(dev, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		near, err := eng.Solve([]bandwidth.Flow{{SM: 0, Slices: []int{0}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		far, err := eng.Solve([]bandwidth.Flow{{SM: 0, Slices: []int{9}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return 1 - far.TotalGBs/near.TotalGBs
+	}
+	var calibrated, deepMLP float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calibrated = gap(nil)
+		deepMLP = gap(func(p *bandwidth.Profile) {
+			p.MLPLines, p.MLPWriteLines, p.MLPPerSliceLines = 100000, 100000, 100000
+		})
+	}
+	b.ReportMetric(calibrated, "nearfar-gap")
+	b.ReportMetric(deepMLP, "nearfar-gap-deep-mlp")
+}
+
+// Ablation 3: spatial GPC ports. Replacing the per-MP spatial ports with
+// one fat port removes the +218%-style gain of Fig. 15(c).
+func BenchmarkAblationSpatialGPCPorts(b *testing.B) {
+	dev, err := gpu.New(gpu.V100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gain := func(mutate func(*bandwidth.Profile)) float64 {
+		prof, err := bandwidth.ProfileFor(dev.Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(&prof)
+		}
+		eng, err := bandwidth.NewEngineWithProfile(dev, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(nMPs int) float64 {
+			var slices []int
+			for mp := 0; mp < nMPs; mp++ {
+				slices = append(slices, dev.SlicesOfMP(mp)...)
+			}
+			bw, err := microbench.SetBandwidth(eng, dev.SMsOfGPC(0), slices, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return bw
+		}
+		return run(4)/run(1) - 1
+	}
+	var spatial, fat float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spatial = gain(nil)
+		fat = gain(func(p *bandwidth.Profile) { p.GPCMPPortGBs = p.GPCTrunkGBs })
+	}
+	b.ReportMetric(100*spatial, "gain-%-spatial")
+	b.ReportMetric(100*fat, "gain-%-fat-port")
+}
+
+// Ablation 4: arbitration policy (also covered by Fig 23); here as a
+// small sweep over buffer depths.
+func BenchmarkAblationArbitration(b *testing.B) {
+	var rrRatio, ageRatio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := noc.RunFairness(noc.DefaultFairnessConfig(noc.RoundRobin, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		age, err := noc.RunFairness(noc.DefaultFairnessConfig(noc.AgeBased, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rrRatio, ageRatio = rr.MaxMinRatio, age.MaxMinRatio
+	}
+	b.ReportMetric(rrRatio, "rr-ratio")
+	b.ReportMetric(ageRatio, "age-ratio")
+}
+
+// Ablation 5: scheduling defence on the RSA channel: random-seed
+// scheduling multiplies the attacker's inference error.
+func BenchmarkAblationScheduling(b *testing.B) {
+	dev, err := gpu.New(gpu.A100())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mae := func(sched kernel.Scheduler) float64 {
+		opts := kernel.DefaultOptions()
+		opts.GridSync = true
+		m, err := kernel.NewMachine(dev, sched, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		timer := rsa.NewGPUTimer(m)
+		rng := rand.New(rand.NewSource(3))
+		ones := []int{8, 24, 40, 56}
+		calib, err := sidechannel.CollectRSATimings(timer, 64, ones, 3, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		test, err := sidechannel.CollectRSATimings(timer, 64, ones, 2, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, e, err := sidechannel.EvaluateRSAAttack(calib, test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	var static, random float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		static = mae(kernel.ListScheduler{SMs: []int{0, 8}})
+		rng := rand.New(rand.NewSource(7))
+		random = mae(kernel.RandomScheduler{Rand: rng.Uint64})
+	}
+	b.ReportMetric(static, "static-mae-bits")
+	b.ReportMetric(random, "random-mae-bits")
+}
+
+// Ablation 6: H100 partition-local caching. Turning it off re-introduces
+// A100-style per-GPC hit-latency spread.
+func BenchmarkAblationLocalCaching(b *testing.B) {
+	spread := func(local bool) float64 {
+		cfg := gpu.H100()
+		cfg.LocalL2Caching = local
+		dev, err := gpu.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat, err := microbench.GPCToMPLatency(dev, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats.Max(lat) - stats.Min(lat)
+	}
+	var on, off float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		on, off = spread(true), spread(false)
+	}
+	b.ReportMetric(on, "spread-local-on")
+	b.ReportMetric(off, "spread-local-off")
+}
+
+// A facade smoke benchmark: the public quick-start path.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dev, err := gpunoc.NewDevice("v100")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gpunoc.LatencyProfile(dev, 24, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension 5 (Sec. IV-C): memory camping vs hashing on the mesh.
+func BenchmarkExt5MemoryCamping(b *testing.B) { runExperiment(b, "ext5", gpu.V100()) }

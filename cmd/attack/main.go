@@ -1,0 +1,189 @@
+// Command attack demonstrates the paper's Section V: GPU timing
+// side-channel attacks that ride on the NoC's non-uniform latency, and
+// the random thread-block scheduling defence.
+//
+// Usage:
+//
+//	attack -kind aes -sched static -samples 15000
+//	attack -kind aes -sched random
+//	attack -kind rsa -sched static
+//	attack -kind placement -gpu a100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gpunoc/internal/bandwidth"
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/kernel"
+	"gpunoc/internal/rsa"
+	"gpunoc/internal/sidechannel"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "aes", "aes | rsa | placement | covert")
+		sched   = flag.String("sched", "static", "static | random thread-block scheduling")
+		gpuName = flag.String("gpu", "", "GPU generation (defaults: aes=v100, rsa=a100, placement=a100)")
+		samples = flag.Int("samples", 15000, "aes: timing samples to collect")
+		nBytes  = flag.Int("bytes", 4, "aes: key bytes to recover")
+		seed    = flag.Int64("seed", 5, "random seed")
+	)
+	flag.Parse()
+
+	defaults := map[string]string{"aes": "v100", "rsa": "a100", "placement": "a100", "covert": "v100"}
+	name := *gpuName
+	if name == "" {
+		name = defaults[*kind]
+	}
+	cfg, err := gpu.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := gpu.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	scheduler := func(fixed []int) kernel.Scheduler {
+		switch *sched {
+		case "random":
+			rng := rand.New(rand.NewSource(*seed + 1))
+			return kernel.RandomScheduler{Rand: rng.Uint64}
+		default:
+			if len(fixed) > 0 {
+				return kernel.ListScheduler{SMs: fixed}
+			}
+			return kernel.StaticScheduler{}
+		}
+	}
+
+	switch *kind {
+	case "aes":
+		key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+		m, err := kernel.NewMachine(dev, scheduler(nil), kernel.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		victim, err := sidechannel.NewAESVictim(m, key)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("collecting %d timing samples under %s scheduling on %s...\n", *samples, *sched, cfg.Name)
+		obs, err := sidechannel.CollectAESSamples(victim, *samples, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fatal(err)
+		}
+		truth := victim.Key().LastRoundKey()
+		hits := 0
+		for j := 0; j < *nBytes; j++ {
+			r, err := sidechannel.RecoverAESKeyByte(obs, j, 32)
+			if err != nil {
+				fatal(err)
+			}
+			hit := r.Best == truth[j]
+			if hit {
+				hits++
+			}
+			fmt.Printf("  key byte %2d: recovered %02x (truth %02x) corr %.3f margin %.3f -> %v\n",
+				j, r.Best, truth[j], r.Correlations[r.Best], r.Margin, hit)
+		}
+		fmt.Printf("recovered %d/%d last-round key bytes\n", hits, *nBytes)
+
+	case "rsa":
+		if cfg.Partitions < 2 {
+			fatal(fmt.Errorf("the RSA demo models the two-SM square kernel on a partitioned GPU; use -gpu a100 or h100"))
+		}
+		opts := kernel.DefaultOptions()
+		opts.GridSync = true
+		m, err := kernel.NewMachine(dev, scheduler([]int{0, cfg.GPCs}), opts)
+		if err != nil {
+			fatal(err)
+		}
+		timer := rsa.NewGPUTimer(m)
+		rng := rand.New(rand.NewSource(*seed))
+		ones := []int{8, 16, 24, 32, 40, 48, 56}
+		calib, err := sidechannel.CollectRSATimings(timer, 64, ones, 4, rng)
+		if err != nil {
+			fatal(err)
+		}
+		test, err := sidechannel.CollectRSATimings(timer, 64, ones, 2, rng)
+		if err != nil {
+			fatal(err)
+		}
+		fit, mae, err := sidechannel.EvaluateRSAAttack(calib, test)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s scheduling on %s:\n", *sched, cfg.Name)
+		fmt.Printf("  timing model: T = %.0f*ones + %.0f cycles (fit R = %.4f)\n", fit.Slope, fit.Intercept, fit.R)
+		fmt.Printf("  ones-count inference error: %.2f bits (static should be <1, random >>1)\n", mae)
+
+	case "placement":
+		var sms []int
+		perGPC := 2
+		for g := 0; g < cfg.GPCs; g++ {
+			for i := 0; i < perGPC; i++ {
+				sms = append(sms, i*cfg.GPCs+g)
+			}
+		}
+		clusters, err := sidechannel.ClusterSMsByLatency(dev, sms, 16, 0.99)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reverse-engineered placement of %d SMs on %s via latency correlation:\n", len(sms), cfg.Name)
+		for i, cl := range clusters {
+			fmt.Printf("  group %d:", i)
+			for _, sm := range cl {
+				fmt.Printf(" SM%d(GPC%d)", sm, dev.GPCOf(sm))
+			}
+			fmt.Println()
+		}
+
+	case "covert":
+		eng, err := bandwidth.NewEngine(dev)
+		if err != nil {
+			fatal(err)
+		}
+		g := cfg.GPCs
+		trojan := []int{0, g, 2 * g, 3 * g}
+		spy := []int{1, g + 1, 2*g + 1, 3*g + 1}
+		ch, err := sidechannel.NewCovertChannel(eng, 3, trojan, spy)
+		if err != nil {
+			fatal(err)
+		}
+		margin, err := ch.Calibrate()
+		if err != nil {
+			fatal(err)
+		}
+		ber, err := ch.BitErrorRate(128, uint64(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("covert channel over L2 slice 3 on %s:\n", cfg.Name)
+		fmt.Printf("  trojan SMs %v, spy SMs %v\n", trojan, spy)
+		fmt.Printf("  contention margin: %.1f GB/s\n", margin)
+		fmt.Printf("  128 bits transmitted, bit error rate %.3f\n", ber)
+		secret := cfg.L2Slices / 2
+		var victim []bandwidth.Flow
+		for _, sm := range trojan {
+			victim = append(victim, bandwidth.Flow{SM: sm, Slices: []int{secret}})
+		}
+		located, err := sidechannel.LocateVictimSlice(eng, victim, spy)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  access-pattern attack: victim on slice %d, attacker located slice %d\n", secret, located)
+
+	default:
+		fatal(fmt.Errorf("unknown attack kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "attack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+// Command nocchar runs the GPU NoC characterization experiments: every
+// table and figure of the reproduced paper, on any modelled GPU
+// generation.
+//
+// Usage:
+//
+//	nocchar -list
+//	nocchar -gpu v100 -exp fig1
+//	nocchar -gpu a100 -exp fig12 -csv
+//	nocchar -gpu h100 -all
+//	nocchar -observations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gpunoc/internal/core"
+	"gpunoc/internal/gpu"
+)
+
+func main() {
+	var (
+		gpuName      = flag.String("gpu", "v100", "GPU generation: v100, a100, h100")
+		expID        = flag.String("exp", "", "experiment id (fig1..fig23, table1)")
+		runAll       = flag.Bool("all", false, "run every experiment supported by the GPU")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		csv          = flag.Bool("csv", false, "emit CSV instead of text renderings")
+		outDir       = flag.String("out", "", "also write each artifact as CSV into this directory")
+		quick        = flag.Bool("quick", false, "reduce sample counts for a fast pass")
+		observations = flag.Bool("observations", false, "check the paper's 12 observations")
+		implications = flag.Bool("implications", false, "check the paper's 6 implications")
+		report       = flag.String("report", "", "write a full Markdown report of every experiment to this file")
+		jsonOut      = flag.Bool("json", false, "emit artifacts as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.All() {
+			gpus := "all GPUs"
+			if len(e.GPUs) > 0 {
+				gpus = fmt.Sprint(e.GPUs)
+			}
+			fmt.Printf("%-8s %-10s %s\n         paper: %s\n", e.ID, gpus, e.Title, e.Paper)
+		}
+		return
+	}
+
+	if *observations {
+		obs, err := core.CheckObservations()
+		if err != nil {
+			fatal(err)
+		}
+		failed := 0
+		for _, o := range obs {
+			status := "PASS"
+			if !o.Pass {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] Observation #%d: %s\n       %s\n", status, o.ID, o.Text, o.Detail)
+		}
+		if failed > 0 {
+			fatal(fmt.Errorf("%d observation(s) failed", failed))
+		}
+		return
+	}
+
+	if *implications {
+		imps, err := core.CheckImplications()
+		if err != nil {
+			fatal(err)
+		}
+		failed := 0
+		for _, im := range imps {
+			status := "PASS"
+			if !im.Pass {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] Implication #%d: %s\n       %s\n", status, im.ID, im.Text, im.Detail)
+		}
+		if failed > 0 {
+			fatal(fmt.Errorf("%d implication(s) failed", failed))
+		}
+		return
+	}
+
+	cfg, err := gpu.ByName(*gpuName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfgs := []gpu.Config{cfg}
+		if *runAll {
+			cfgs = gpu.AllConfigs()
+		}
+		if err := core.WriteReport(f, cfgs, *quick, time.Now()); err != nil {
+			fatal(err)
+		}
+		fmt.Println("report written to", *report)
+		return
+	}
+
+	ctx, err := core.NewContext(cfg, *quick)
+	if err != nil {
+		fatal(err)
+	}
+
+	var exps []*core.Experiment
+	switch {
+	case *runAll:
+		for _, e := range core.All() {
+			if e.SupportsGPU(cfg.Name) {
+				exps = append(exps, e)
+			}
+		}
+	case *expID != "":
+		e, err := core.Lookup(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		if !e.SupportsGPU(cfg.Name) {
+			fatal(fmt.Errorf("experiment %s does not apply to %s (supported: %v)", e.ID, cfg.Name, e.GPUs))
+		}
+		exps = append(exps, e)
+	default:
+		fatal(fmt.Errorf("pass -exp <id>, -all, -list, or -observations"))
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, e := range exps {
+		fmt.Printf("=== %s: %s [%s]\n", e.ID, e.Title, cfg.Name)
+		fmt.Printf("    paper: %s\n\n", e.Paper)
+		arts, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "    error: %v\n\n", err)
+			continue
+		}
+		if *jsonOut {
+			data, err := core.MarshalArtifacts(arts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		for i, a := range arts {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", a.Title(), a.CSV())
+			} else {
+				fmt.Println(a.Render())
+			}
+			if *outDir != "" {
+				name := fmt.Sprintf("%s_%s_%d.csv", e.ID, strings.ToLower(string(cfg.Name)), i)
+				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(a.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocchar:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package gpunoc_test
+
+import (
+	"fmt"
+
+	"gpunoc"
+)
+
+// The basic characterization loop: build a device and probe its NoC.
+func ExampleNewDevice() {
+	dev, err := gpunoc.NewDevice("v100")
+	if err != nil {
+		panic(err)
+	}
+	cfg := dev.Config()
+	fmt.Println(cfg.SMs(), "SMs,", cfg.L2Slices, "L2 slices,", cfg.MPs, "memory partitions")
+	// Output: 84 SMs, 32 L2 slices, 8 memory partitions
+}
+
+// Latency non-uniformity (Observation #1): the same SM sees very
+// different round trips to different L2 slices.
+func ExampleLatencyProfile() {
+	dev, err := gpunoc.NewDevice("v100")
+	if err != nil {
+		panic(err)
+	}
+	near := dev.L2HitLatencyMean(24, 2)
+	far := dev.L2HitLatencyMean(24, 7)
+	fmt.Println(far-near > 30)
+	// Output: true
+}
+
+// Bandwidth uniformity (Observation #8): once enough SMs drive a slice,
+// the nearest and farthest slices deliver the same saturated bandwidth
+// despite their latency difference.
+func ExampleSliceBandwidth() {
+	dev, err := gpunoc.NewDevice("v100")
+	if err != nil {
+		panic(err)
+	}
+	eng, err := gpunoc.NewBandwidthEngine(dev)
+	if err != nil {
+		panic(err)
+	}
+	sms := dev.SMsOfGPC(0)
+	a, _ := gpunoc.SliceBandwidth(eng, sms, 2)
+	b, _ := gpunoc.SliceBandwidth(eng, sms, 7)
+	ratio := a / b
+	fmt.Println(ratio > 0.97 && ratio < 1.03)
+	// Output: true
+}
+
+// The network-wall check of Implication #5: an interconnect whose
+// NoC-MEM interface cannot carry the memory bandwidth caps the system.
+func ExampleAnalyzeNetworkWall() {
+	points := []gpunoc.SimPoint{
+		{Name: "starved", NoCClockGHz: 0.6, ChannelBytes: 16, MPs: 8, MemBWGBs: 900},
+		{Name: "provisioned", NoCClockGHz: 1.4, ChannelBytes: 96, MPs: 8, MemBWGBs: 900},
+	}
+	reports, walled, err := gpunoc.AnalyzeNetworkWall(points)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(walled, "of", len(reports), "walled")
+	// Output: 1 of 2 walled
+}
+
+// Placement reverse engineering (Implication #1): SMs of the same column
+// group cluster together from timing alone.
+func ExampleClusterSMsByLatency() {
+	dev, err := gpunoc.NewDevice("v100")
+	if err != nil {
+		panic(err)
+	}
+	// SM 0 and 6 share GPC0; SM 4 and 10 share GPC4.
+	groups, err := gpunoc.ClusterSMsByLatency(dev, []int{0, 6, 4, 10}, 8, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(groups), "groups:", groups)
+	// Output: 2 groups: [[0 6] [4 10]]
+}

@@ -1,0 +1,62 @@
+// Placement: reverse-engineer which SMs share a physical cluster purely
+// from L2-latency timing, the paper's Implication #1. Modern drivers hide
+// per-slice performance counters, but the NoC's non-uniform latency still
+// leaks placement: SMs in the same cluster have near-identical latency
+// profiles (Pearson r ~ 1), so correlation clustering recovers the
+// floorplan - the co-location primitive GPU side channels need.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpunoc"
+)
+
+func main() {
+	for _, name := range []string{"v100", "a100", "h100"} {
+		dev, err := gpunoc.NewDevice(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := dev.Config()
+
+		// The attacker probes a handful of SMs: two per GPC.
+		var sms []int
+		for g := 0; g < cfg.GPCs; g++ {
+			sms = append(sms, g, cfg.GPCs+g)
+		}
+		clusters, err := gpunoc.ClusterSMsByLatency(dev, sms, 16, 0.99)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s: %d probed SMs cluster into %d placement groups\n",
+			cfg.Name, len(sms), len(clusters))
+		for i, cl := range clusters {
+			fmt.Printf("  group %d:", i)
+			for _, sm := range cl {
+				fmt.Printf(" SM%-3d(GPC%d", sm, dev.GPCOf(sm))
+				if cpc := dev.CPCOf(sm); cpc >= 0 {
+					fmt.Printf("/CPC%d", cpc)
+				}
+				fmt.Print(")")
+			}
+			fmt.Println()
+		}
+
+		// Verify against the ground-truth floorplan: no cluster mixes
+		// GPU partitions.
+		for _, cl := range clusters {
+			part := dev.PartitionOfSM(cl[0])
+			for _, sm := range cl {
+				if dev.PartitionOfSM(sm) != part {
+					fmt.Println("  WARNING: cluster crosses GPU partitions")
+				}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("An attacker uses these groups to co-locate spy and victim kernels")
+	fmt.Println("without any performance-counter access (paper Sec. V-A).")
+}

@@ -1,0 +1,3 @@
+module gpunoc
+
+go 1.22

@@ -1,0 +1,157 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyLengthValidation(t *testing.T) {
+	if _, err := NewKey(make([]byte, 15)); err == nil {
+		t.Error("short key should fail")
+	}
+	if _, err := NewKey(make([]byte, 32)); err == nil {
+		t.Error("AES-256 key should fail (AES-128 only)")
+	}
+}
+
+func TestEncryptInputValidation(t *testing.T) {
+	k, err := NewKey(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := k.Encrypt(make([]byte, 15)); err == nil {
+		t.Error("short plaintext should fail")
+	}
+	if _, err := k.Decrypt(make([]byte, 17)); err == nil {
+		t.Error("long ciphertext should fail")
+	}
+}
+
+// FIPS-197 Appendix C.1 known-answer test.
+func TestFIPS197Vector(t *testing.T) {
+	key := []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}
+	pt := []byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	want := []byte{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}
+	k, err := NewKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _, err := k.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("ciphertext %x, want %x", ct, want)
+	}
+}
+
+// Property: agrees with the standard library for random keys/plaintexts.
+func TestMatchesStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		k, err := NewKey(key)
+		if err != nil {
+			return false
+		}
+		got, _, err := k.Encrypt(pt)
+		if err != nil {
+			return false
+		}
+		std, err := stdaes.NewCipher(key)
+		if err != nil {
+			return false
+		}
+		want := make([]byte, 16)
+		std.Encrypt(want, pt)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decrypt inverts Encrypt.
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		k, err := NewKey(key)
+		if err != nil {
+			return false
+		}
+		ct, _, err := k.Encrypt(pt)
+		if err != nil {
+			return false
+		}
+		back, err := k.Decrypt(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The attacker's reconstruction identity: the final-round table index for
+// ciphertext byte j is InvSBox(C[j] ^ K10[j]). This identity is what makes
+// the key-recovery attack possible.
+func TestTraceReconstructionIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		k, err := NewKey(key)
+		if err != nil {
+			return false
+		}
+		ct, tr, err := k.Encrypt(pt)
+		if err != nil {
+			return false
+		}
+		k10 := k.LastRoundKey()
+		for j := 0; j < BlockSize; j++ {
+			if InvSBox(ct[j]^k10[j]) != tr.FinalIndices[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSBoxInverse(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if InvSBox(SBox(byte(i))) != byte(i) {
+			t.Fatalf("InvSBox(SBox(%d)) != %d", i, i)
+		}
+	}
+}
+
+func TestRoundKeysDiffer(t *testing.T) {
+	k, err := NewKey([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.RoundKey(0) == k.RoundKey(10) {
+		t.Error("round keys should differ")
+	}
+	if k.LastRoundKey() != k.RoundKey(10) {
+		t.Error("LastRoundKey should be round 10")
+	}
+}

@@ -1,0 +1,58 @@
+package bandwidth
+
+import (
+	"fmt"
+
+	"gpunoc/internal/gpu"
+)
+
+// DeriveProfile synthesizes a capacity profile for a non-canonical (e.g.
+// gpu.Custom) configuration from its headline numbers, applying the
+// provisioning rules the paper's implications prescribe: the aggregate
+// fabric is L2FabricFactor x memory bandwidth, split across GPC trunks;
+// input speedup exists at every level; the NoC-MEM interface exceeds what
+// the slices can sink; and DRAM is derated to achievable efficiency.
+// Canonical generations should keep using their hand-calibrated
+// ProfileFor values.
+func DeriveProfile(cfg gpu.Config) (Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return Profile{}, err
+	}
+	fabric := cfg.L2FabricFactor * cfg.MemBWGBs
+	trunk := fabric / float64(cfg.GPCs)
+	slice := 1.25 * fabric / float64(cfg.L2Slices)
+	smRead := 1.1 * trunk / float64(cfg.SMsPerGPC())
+	p := Profile{
+		MLPLines: 96, MLPWriteLines: 72, MLPPerSliceLines: 48,
+		SMReadGBs:  smRead,
+		SMWriteGBs: 0.7 * smRead,
+		TPCReadGBs: 2 * smRead, TPCWriteGBs: 1.4 * smRead,
+		SlotBusGBs: 0.52 * trunk, SlotBusWriteGBs: 0.36 * trunk,
+		GPCTrunkGBs:   trunk,
+		GPCMPPortGBs:  trunk / 4,
+		MPPortGBs:     1.1 * slice * float64(cfg.SlicesPerMP()),
+		SliceGBs:      slice,
+		MemChannelGBs: 0.88 * cfg.MemBWGBs / float64(cfg.MPs),
+		MemEfficiency: 0.88,
+	}
+	if cfg.CPCsPerGPC > 0 {
+		p.CPCReadGBs = 6.5 * smRead
+		p.CPCWriteGBs = 4.6 * 0.7 * smRead
+	}
+	if cfg.Partitions > 1 {
+		p.PartitionLinkGBs = fabric / 4
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("bandwidth: derived profile invalid: %w", err)
+	}
+	return p, nil
+}
+
+// ProfileOrDerive returns the hand-calibrated profile for canonical
+// generations and a derived one otherwise.
+func ProfileOrDerive(cfg gpu.Config) (Profile, error) {
+	if p, err := ProfileFor(cfg); err == nil {
+		return p, nil
+	}
+	return DeriveProfile(cfg)
+}

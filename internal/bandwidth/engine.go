@@ -1,0 +1,343 @@
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpunoc/internal/gpu"
+)
+
+// Flow is one traffic class in the closed queueing network: a single SM
+// streaming cache-line requests to a set of L2 slices, mirroring one
+// thread block of the paper's Algorithm 2.
+type Flow struct {
+	// SM is the source streaming multiprocessor.
+	SM int
+	// Slices is the destination L2 slice set; accesses spread uniformly
+	// over it. Must be nonempty.
+	Slices []int
+	// Write marks a write-streaming flow (request-side bandwidth binds).
+	Write bool
+	// DRAM marks a flow whose accesses miss in L2 and are serviced by the
+	// home memory channel (for off-chip bandwidth measurements).
+	DRAM bool
+}
+
+// Result reports the solved steady state.
+type Result struct {
+	// PerFlowGBs is the achieved bandwidth of each flow in GB/s, in input
+	// order.
+	PerFlowGBs []float64
+	// TotalGBs is the sum over flows.
+	TotalGBs float64
+	// Utilization maps station names to utilization in [0, 1].
+	Utilization map[string]float64
+}
+
+// Engine solves bandwidth allocations for one device and profile.
+type Engine struct {
+	dev  *gpu.Device
+	prof Profile
+}
+
+// NewEngine builds an engine for the device using its generation's
+// canonical profile, or a derived one for custom generations.
+func NewEngine(dev *gpu.Device) (*Engine, error) {
+	prof, err := ProfileOrDerive(dev.Config())
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineWithProfile(dev, prof)
+}
+
+// NewEngineWithProfile builds an engine with an explicit profile (used by
+// the ablation benchmarks to perturb single capacities).
+func NewEngineWithProfile(dev *gpu.Device, prof Profile) (*Engine, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{dev: dev, prof: prof}, nil
+}
+
+// Device returns the engine's device.
+func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// Profile returns the engine's capacity profile.
+func (e *Engine) Profile() Profile { return e.prof }
+
+// station is one queueing resource.
+type station struct {
+	name string
+	// perLine is the service time in seconds for one cache line.
+	perLine float64
+}
+
+// demand is one flow's visit to a station: seconds of service per
+// completed line of the flow (visit ratio folded in).
+type demand struct {
+	station int
+	d       float64
+}
+
+// netModel is the assembled closed queueing network.
+type netModel struct {
+	stations []station
+	// classes[f] holds flow f's demands; population[f] its customers;
+	// think[f] its think time in seconds.
+	classes    [][]demand
+	population []float64
+	think      []float64
+}
+
+// Solve computes the steady-state bandwidth of the given flows. It returns
+// an error for empty or malformed flow sets.
+func (e *Engine) Solve(flows []Flow) (Result, error) {
+	if len(flows) == 0 {
+		return Result{}, fmt.Errorf("bandwidth: no flows")
+	}
+	cfg := e.dev.Config()
+	for i, f := range flows {
+		if f.SM < 0 || f.SM >= cfg.SMs() {
+			return Result{}, fmt.Errorf("bandwidth: flow %d: SM %d out of range", i, f.SM)
+		}
+		if len(f.Slices) == 0 {
+			return Result{}, fmt.Errorf("bandwidth: flow %d: empty slice set", i)
+		}
+		for _, s := range f.Slices {
+			if s < 0 || s >= cfg.L2Slices {
+				return Result{}, fmt.Errorf("bandwidth: flow %d: slice %d out of range", i, s)
+			}
+		}
+	}
+	m := e.build(flows)
+	x := solveAMVA(m)
+
+	lineBytes := float64(cfg.CacheLineBytes)
+	res := Result{
+		PerFlowGBs:  make([]float64, len(flows)),
+		Utilization: make(map[string]float64, len(m.stations)),
+	}
+	for f := range flows {
+		gbs := x[f] * lineBytes / 1e9
+		res.PerFlowGBs[f] = gbs
+		res.TotalGBs += gbs
+	}
+	for si, st := range m.stations {
+		var u float64
+		for f := range m.classes {
+			for _, dm := range m.classes[f] {
+				if dm.station == si {
+					u += x[f] * dm.d
+				}
+			}
+		}
+		_ = st
+		if u > res.Utilization[m.stations[si].name] {
+			res.Utilization[m.stations[si].name] = u
+		}
+	}
+	return res, nil
+}
+
+// build assembles the queueing network for the flow set.
+func (e *Engine) build(flows []Flow) *netModel {
+	cfg := e.dev.Config()
+	prof := e.prof
+	clockHz := float64(cfg.CoreClockMHz) * 1e6
+	lineBytes := float64(cfg.CacheLineBytes)
+
+	m := &netModel{}
+	index := map[string]int{}
+	stationOf := func(name string, capGBs float64) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		i := len(m.stations)
+		index[name] = i
+		m.stations = append(m.stations, station{name: name, perLine: lineBytes / (capGBs * 1e9)})
+		return i
+	}
+
+	for _, f := range flows {
+		gpc := e.dev.GPCOf(f.SM)
+		tpc := e.dev.TPCOf(f.SM)
+		cpc := e.dev.CPCOf(f.SM)
+		slot := e.dev.LocalIndex(f.SM) % cfg.SMsPerTPC
+		srcPart := e.dev.PartitionOfSM(f.SM)
+
+		smCap, tpcCap, slotCap := prof.SMReadGBs, prof.TPCReadGBs, prof.SlotBusGBs
+		cpcCap := prof.CPCReadGBs
+		pop := prof.MLPLines
+		dir := "r"
+		if f.Write {
+			smCap, tpcCap, slotCap = prof.SMWriteGBs, prof.TPCWriteGBs, prof.SlotBusWriteGBs
+			cpcCap = prof.CPCWriteGBs
+			pop = prof.MLPWriteLines
+			dir = "w"
+		}
+		// Per-target MSHR slots bound how deep a narrow stream can run.
+		if cap := prof.MLPPerSliceLines * len(f.Slices); cap < pop {
+			pop = cap
+		}
+
+		var dms []demand
+		add := func(name string, capGBs, visit float64) {
+			if capGBs <= 0 || visit <= 0 {
+				return
+			}
+			dms = append(dms, demand{station: stationOf(name, capGBs), d: visit * lineBytes / (capGBs * 1e9)})
+		}
+
+		// Source-side hierarchy, visited by every line.
+		add(fmt.Sprintf("sm%d/%s", f.SM, dir), smCap, 1)
+		add(fmt.Sprintf("tpc%d.%d/%s", gpc, tpc, dir), tpcCap, 1)
+		if cpc >= 0 && cpcCap > 0 {
+			add(fmt.Sprintf("cpc%d.%d/%s", gpc, cpc, dir), cpcCap, 1)
+		}
+		add(fmt.Sprintf("slot%d.%d/%s", gpc, slot, dir), slotCap, 1)
+		add(fmt.Sprintf("gpctrunk%d", gpc), prof.GPCTrunkGBs, 1)
+
+		// Destination-side, split by visit ratio across the slice set.
+		// Partition-local caching (H100) redirects each slice to its local
+		// serving slice, exactly as the latency model does.
+		perSlice := 1 / float64(len(f.Slices))
+		var think float64 // cycles, averaged over destinations
+		crossFrac := 0.0
+		mpVisits := map[int]float64{}
+		sliceVisits := map[int]float64{}
+		for _, s := range f.Slices {
+			serving := e.servingSlice(f.SM, s)
+			sliceVisits[serving] += perSlice
+			mpVisits[e.dev.MPOfSlice(serving)] += perSlice
+			if e.dev.PartitionOfSlice(serving) != srcPart {
+				crossFrac += perSlice
+			}
+			think += e.dev.L2HitLatencyMean(f.SM, s)
+			if f.DRAM {
+				think += e.dev.L2MissPenaltyMean(f.SM, e.dev.MPOfSlice(serving))
+			}
+		}
+		think *= perSlice
+
+		if crossFrac > 0 && prof.PartitionLinkGBs > 0 {
+			add(fmt.Sprintf("xpart%d", srcPart), prof.PartitionLinkGBs, crossFrac)
+		}
+		for mp, v := range mpVisits {
+			add(fmt.Sprintf("gpcmp%d.%d", gpc, mp), prof.GPCMPPortGBs, v)
+			add(fmt.Sprintf("mpport%d", mp), prof.MPPortGBs, v)
+			if f.DRAM {
+				add(fmt.Sprintf("mem%d", mp), prof.MemChannelGBs, v)
+			}
+		}
+		for s, v := range sliceVisits {
+			add(fmt.Sprintf("slice%d", s), prof.SliceGBs, v)
+		}
+
+		m.classes = append(m.classes, dms)
+		m.population = append(m.population, float64(pop))
+		m.think = append(m.think, think/clockHz)
+	}
+	return m
+}
+
+// servingSlice resolves which physical slice serves flow traffic to the
+// addressed slice (identity except under H100 partition-local caching).
+func (e *Engine) servingSlice(sm, slice int) int {
+	return e.dev.ServingSliceID(sm, slice)
+}
+
+// solveAMVA runs multi-class Schweitzer approximate Mean Value Analysis to
+// a fixed point and returns per-class throughput in lines per second.
+func solveAMVA(m *netModel) []float64 {
+	nClasses := len(m.classes)
+	nStations := len(m.stations)
+	// qcf[s][f]: mean number of class-f customers at station s.
+	qcf := make([][]float64, nStations)
+	for s := range qcf {
+		qcf[s] = make([]float64, nClasses)
+	}
+	// Initialize customers spread evenly over each class's stations.
+	for f, dms := range m.classes {
+		if len(dms) == 0 {
+			continue
+		}
+		each := m.population[f] / float64(len(dms)+1)
+		for _, dm := range dms {
+			qcf[dm.station][f] = each
+		}
+	}
+	x := make([]float64, nClasses)
+	qTot := make([]float64, nStations)
+	const (
+		maxIter = 2000
+		tol     = 1e-10
+		damp    = 0.5
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		for s := range qTot {
+			qTot[s] = 0
+			for f := 0; f < nClasses; f++ {
+				qTot[s] += qcf[s][f]
+			}
+		}
+		maxDelta := 0.0
+		for f, dms := range m.classes {
+			nf := m.population[f]
+			r := m.think[f]
+			rs := make([]float64, len(dms))
+			for i, dm := range dms {
+				// Schweitzer approximation: remove this class's fair share
+				// of its own queue when estimating queue seen on arrival.
+				seen := qTot[dm.station] - qcf[dm.station][f]/nf
+				if seen < 0 {
+					seen = 0
+				}
+				rs[i] = dm.d * (1 + seen)
+				r += rs[i]
+			}
+			xf := nf / r
+			x[f] = xf
+			for i, dm := range dms {
+				next := xf * rs[i]
+				old := qcf[dm.station][f]
+				upd := old*(1-damp) + next*damp
+				if d := math.Abs(upd - old); d > maxDelta {
+					maxDelta = d
+				}
+				qcf[dm.station][f] = upd
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	return x
+}
+
+// TopUtilized returns the n most utilized stations of a result, sorted
+// descending, for bottleneck reports.
+func (r Result) TopUtilized(n int) []string {
+	type kv struct {
+		name string
+		u    float64
+	}
+	all := make([]kv, 0, len(r.Utilization))
+	for k, v := range r.Utilization {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].u != all[j].u {
+			return all[i].u > all[j].u
+		}
+		return all[i].name < all[j].name
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("%s=%.0f%%", all[i].name, all[i].u*100)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package bandwidth models the GPU's on-chip bandwidth hierarchy (the
+// paper's Section IV and Fig. 11): per-SM memory-level parallelism, TPC /
+// CPC / GPC input speedups, the GPC-to-NoC trunk with its per-slot buses
+// and per-MP spatial ports, the inter-partition link, L2 slice ports, and
+// DRAM channels.
+//
+// Steady-state bandwidth is computed with a multi-class closed
+// queueing-network model solved by Schweitzer approximate Mean Value
+// Analysis. Each SM's in-flight cache lines are the circulating customers,
+// the round-trip NoC latency (from package gpu's floorplan model) is the
+// think time, and every shared link is a queueing station. This single
+// mechanism produces the paper's bandwidth observations: Little's-law
+// limited single-SM bandwidth (Fig. 9b, 12), smooth slice saturation with
+// SM count (Fig. 14), hierarchical input speedups including "speedup in
+// space" (Fig. 10, 15), and near/far partition asymmetry (Fig. 12, 13).
+package bandwidth
+
+import (
+	"fmt"
+
+	"gpunoc/internal/gpu"
+)
+
+// Profile holds the capacity calibration of one GPU generation. All
+// capacities are GB/s (1e9 bytes per second).
+type Profile struct {
+	// MLPLines and MLPWriteLines are the cache-line-sized requests one SM
+	// keeps in flight for reads and writes (its MSHR/LSU depth). These are
+	// the closed-network populations; dividing by round-trip latency gives
+	// the latency-limited bandwidth of Little's law.
+	MLPLines      int
+	MLPWriteLines int
+
+	// MLPPerSliceLines caps the in-flight lines one SM can direct at a
+	// single L2 slice (per-target MSHR/queue slots). A flow's effective
+	// population is min(MLPLines, MLPPerSliceLines * targets), which lets
+	// spread traffic sustain more outstanding requests than single-slice
+	// streams - the reason A100's aggregate per-SM bandwidth exceeds its
+	// single-slice bandwidth in the paper's data (Fig. 9a vs Fig. 12).
+	MLPPerSliceLines int
+
+	// SMReadGBs / SMWriteGBs cap a single SM's reply (read) and request
+	// (write) port.
+	SMReadGBs, SMWriteGBs float64
+
+	// TPCReadGBs / TPCWriteGBs cap the shared TPC port. The ratio
+	// TPCWriteGBs / single-SM write bandwidth is the paper's TPC write
+	// speedup (1.09x on V100, 2x on A100/H100).
+	TPCReadGBs, TPCWriteGBs float64
+
+	// CPCReadGBs / CPCWriteGBs cap the H100 CPC stage (0 disables it).
+	// The paper finds CPC reads unconstrained but CPC writes limited to a
+	// ~4.6x speedup out of the 6 SMs.
+	CPCReadGBs, CPCWriteGBs float64
+
+	// SlotBusGBs caps one of the GPC's per-SM-slot ingress buses. SMs of
+	// even local index share slot bus 0, odd share bus 1. This realizes
+	// the paper's observation that some GPC speedup is provided "in space
+	// (additional connectivity) and not entirely in time": one SM per TPC
+	// rides a single bus, while using both SMs of each TPC engages both.
+	SlotBusGBs      float64
+	SlotBusWriteGBs float64
+
+	// GPCTrunkGBs caps a GPC's total traffic into the NoC.
+	GPCTrunkGBs float64
+
+	// GPCMPPortGBs caps the spatial port from one GPC toward one MP
+	// (Fig. 15c: going from 1 to 4 destination MPs engages more ports).
+	GPCMPPortGBs float64
+
+	// PartitionLinkGBs caps one direction of the inter-partition
+	// interconnect (0 means no partitions / unlimited).
+	PartitionLinkGBs float64
+
+	// MPPortGBs caps the NoC-to-MP input port (the L2 input speedup stage;
+	// near-ideal per Fig. 15a).
+	MPPortGBs float64
+
+	// SliceGBs caps one L2 slice's data port.
+	SliceGBs float64
+
+	// MemChannelGBs caps one memory partition's DRAM channel, already
+	// derated by achievable DRAM efficiency (the paper measures 85-90% of
+	// peak; see MemEfficiency).
+	MemChannelGBs float64
+
+	// MemEfficiency is the achievable fraction of peak DRAM bandwidth.
+	MemEfficiency float64
+}
+
+// Validate checks that required capacities are positive.
+func (p Profile) Validate() error {
+	if p.MLPLines <= 0 || p.MLPWriteLines <= 0 || p.MLPPerSliceLines <= 0 {
+		return fmt.Errorf("bandwidth: non-positive MLP")
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"SMRead", p.SMReadGBs}, {"SMWrite", p.SMWriteGBs},
+		{"TPCRead", p.TPCReadGBs}, {"TPCWrite", p.TPCWriteGBs},
+		{"SlotBus", p.SlotBusGBs}, {"SlotBusWrite", p.SlotBusWriteGBs},
+		{"GPCTrunk", p.GPCTrunkGBs}, {"GPCMPPort", p.GPCMPPortGBs},
+		{"MPPort", p.MPPortGBs}, {"Slice", p.SliceGBs}, {"MemChannel", p.MemChannelGBs},
+	} {
+		if c.v <= 0 {
+			return fmt.Errorf("bandwidth: non-positive capacity %s", c.name)
+		}
+	}
+	if p.MemEfficiency <= 0 || p.MemEfficiency > 1 {
+		return fmt.Errorf("bandwidth: MemEfficiency %v outside (0, 1]", p.MemEfficiency)
+	}
+	return nil
+}
+
+// ProfileFor returns the calibrated capacity profile of a generation.
+// Calibration targets (see EXPERIMENTS.md): V100 single-SM-to-slice
+// ~34 GB/s and GPC-to-slice ~85 GB/s; A100 near/far single-SM ~39.5/26
+// GB/s; aggregate L2 fabric 2.4-3.5x off-chip bandwidth; memory
+// utilization 85-90% of peak.
+func ProfileFor(cfg gpu.Config) (Profile, error) {
+	switch cfg.Name {
+	case gpu.GenV100:
+		return Profile{
+			MLPLines: 42, MLPWriteLines: 40, MLPPerSliceLines: 42,
+			SMReadGBs: 55, SMWriteGBs: 40,
+			TPCReadGBs: 110, TPCWriteGBs: 29,
+			SlotBusGBs: 185, SlotBusWriteGBs: 130,
+			GPCTrunkGBs:  360,
+			GPCMPPortGBs: 85,
+			MPPortGBs:    340,
+			SliceGBs:     85,
+			// 900 GB/s peak over 8 channels at 88% efficiency.
+			MemChannelGBs: 900.0 / 8 * 0.88,
+			MemEfficiency: 0.88,
+		}, nil
+	case gpu.GenA100:
+		return Profile{
+			MLPLines: 80, MLPWriteLines: 64, MLPPerSliceLines: 48,
+			SMReadGBs: 62, SMWriteGBs: 50,
+			TPCReadGBs: 124, TPCWriteGBs: 100,
+			SlotBusGBs: 300, SlotBusWriteGBs: 220,
+			GPCTrunkGBs:      583,
+			GPCMPPortGBs:     260,
+			PartitionLinkGBs: 1200,
+			MPPortGBs:        1000,
+			SliceGBs:         240,
+			MemChannelGBs:    1555.0 / 10 * 0.89,
+			MemEfficiency:    0.89,
+		}, nil
+	case gpu.GenH100:
+		return Profile{
+			MLPLines: 128, MLPWriteLines: 96, MLPPerSliceLines: 80,
+			SMReadGBs: 95, SMWriteGBs: 55,
+			TPCReadGBs: 190, TPCWriteGBs: 110,
+			CPCReadGBs: 580, CPCWriteGBs: 230, // write speedup ~4.6x of 6 SMs
+			SlotBusGBs: 760, SlotBusWriteGBs: 520,
+			GPCTrunkGBs:      1466,
+			GPCMPPortGBs:     320,
+			PartitionLinkGBs: 2000,
+			MPPortGBs:        2400,
+			SliceGBs:         300,
+			MemChannelGBs:    3350.0 / 10 * 0.89,
+			MemEfficiency:    0.89,
+		}, nil
+	}
+	return Profile{}, fmt.Errorf("bandwidth: no profile for generation %q", cfg.Name)
+}

@@ -1,0 +1,139 @@
+// Package bottleneck implements the operational-analysis arguments of the
+// paper's Section VI-B: "the maximum throughput of K sub-systems in series
+// is the minimum of the subsystem throughput" (Hill [56], after the
+// queueing-network analysis of Lazowska et al. [55]). It builds the GPU's
+// bandwidth hierarchy as a series of capacitated stages - SM ports, TPC
+// ports, GPC trunks, the NoC-MEM interface, L2 slices, DRAM channels -
+// finds the stage that caps system throughput, and checks the paper's
+// design rule (Implication #5): the NoC must be provisioned so that the
+// expensive resource, memory bandwidth, is the bottleneck, not the
+// interconnect.
+package bottleneck
+
+import (
+	"fmt"
+
+	"gpunoc/internal/bandwidth"
+	"gpunoc/internal/gpu"
+)
+
+// Stage is one stage of a series system: a resource with an aggregate
+// capacity in GB/s.
+type Stage struct {
+	Name        string
+	CapacityGBs float64
+}
+
+// Validate checks a stage.
+func (s Stage) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("bottleneck: unnamed stage")
+	}
+	if s.CapacityGBs <= 0 {
+		return fmt.Errorf("bottleneck: stage %q has non-positive capacity", s.Name)
+	}
+	return nil
+}
+
+// SeriesThroughput returns the maximum sustainable throughput of stages
+// in series and the index of the binding stage (ties resolve to the
+// earliest stage).
+func SeriesThroughput(stages []Stage) (float64, int, error) {
+	if len(stages) == 0 {
+		return 0, 0, fmt.Errorf("bottleneck: empty system")
+	}
+	best := 0
+	for i, s := range stages {
+		if err := s.Validate(); err != nil {
+			return 0, 0, err
+		}
+		if s.CapacityGBs < stages[best].CapacityGBs {
+			best = i
+		}
+	}
+	return stages[best].CapacityGBs, best, nil
+}
+
+// Report is one stage's view under an offered load.
+type Report struct {
+	Stage       Stage
+	Utilization float64
+	Binding     bool
+}
+
+// Analyze evaluates the stages under an offered load (GB/s of demand that
+// every stage must carry) and flags the binding stage. Offered loads
+// above the series throughput saturate the binding stage at 1.0.
+func Analyze(stages []Stage, offeredGBs float64) ([]Report, error) {
+	if offeredGBs <= 0 {
+		return nil, fmt.Errorf("bottleneck: non-positive offered load")
+	}
+	max, binding, err := SeriesThroughput(stages)
+	if err != nil {
+		return nil, err
+	}
+	carried := offeredGBs
+	if carried > max {
+		carried = max
+	}
+	out := make([]Report, len(stages))
+	for i, s := range stages {
+		u := carried / s.CapacityGBs
+		if u > 1 {
+			u = 1
+		}
+		out[i] = Report{Stage: s, Utilization: u, Binding: i == binding}
+	}
+	return out, nil
+}
+
+// Hierarchy assembles the paper's on-chip bandwidth hierarchy for a GPU
+// generation from its calibrated capacity profile: aggregate SM reply
+// ports, TPC ports, GPC slot buses, GPC trunks, the NoC-MEM interface
+// (MP input ports), L2 slice ports, and DRAM channels.
+func Hierarchy(cfg gpu.Config, prof bandwidth.Profile) ([]Stage, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	nTPC := cfg.GPCs * cfg.TPCsPerGPC
+	stages := []Stage{
+		{Name: "SM reply ports", CapacityGBs: float64(cfg.SMs()) * prof.SMReadGBs},
+		{Name: "TPC ports", CapacityGBs: float64(nTPC) * prof.TPCReadGBs},
+		{Name: "GPC slot buses", CapacityGBs: float64(cfg.GPCs) * 2 * prof.SlotBusGBs},
+		{Name: "GPC trunks", CapacityGBs: float64(cfg.GPCs) * prof.GPCTrunkGBs},
+		{Name: "NoC-MEM interface", CapacityGBs: float64(cfg.MPs) * prof.MPPortGBs},
+		{Name: "L2 slice ports", CapacityGBs: float64(cfg.L2Slices) * prof.SliceGBs},
+		{Name: "DRAM channels", CapacityGBs: float64(cfg.MPs) * prof.MemChannelGBs},
+	}
+	return stages, nil
+}
+
+// MemoryBound reports whether DRAM is the series bottleneck of the
+// hierarchy - the paper's design rule for a well-provisioned NoC. The
+// returned stage names the actual bottleneck.
+func MemoryBound(stages []Stage) (bool, Stage, error) {
+	_, binding, err := SeriesThroughput(stages)
+	if err != nil {
+		return false, Stage{}, err
+	}
+	return stages[binding].Name == "DRAM channels", stages[binding], nil
+}
+
+// NetworkWallFactor quantifies how badly an under-provisioned NoC caps
+// the system: the ratio of DRAM capacity to actual series throughput
+// (1.0 means no wall).
+func NetworkWallFactor(stages []Stage) (float64, error) {
+	max, _, err := SeriesThroughput(stages)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range stages {
+		if s.Name == "DRAM channels" {
+			return s.CapacityGBs / max, nil
+		}
+	}
+	return 0, fmt.Errorf("bottleneck: no DRAM stage in hierarchy")
+}

@@ -1,0 +1,186 @@
+package bottleneck
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpunoc/internal/bandwidth"
+	"gpunoc/internal/gpu"
+)
+
+func TestSeriesThroughput(t *testing.T) {
+	stages := []Stage{
+		{Name: "a", CapacityGBs: 300},
+		{Name: "b", CapacityGBs: 100},
+		{Name: "c", CapacityGBs: 200},
+	}
+	max, binding, err := SeriesThroughput(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 100 || binding != 1 {
+		t.Errorf("series = (%v, %d), want (100, 1)", max, binding)
+	}
+}
+
+func TestSeriesThroughputErrors(t *testing.T) {
+	if _, _, err := SeriesThroughput(nil); err == nil {
+		t.Error("empty system should fail")
+	}
+	if _, _, err := SeriesThroughput([]Stage{{Name: "x", CapacityGBs: 0}}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, _, err := SeriesThroughput([]Stage{{CapacityGBs: 5}}); err == nil {
+		t.Error("unnamed stage should fail")
+	}
+}
+
+func TestSeriesThroughputTieBreaksEarliest(t *testing.T) {
+	stages := []Stage{{Name: "a", CapacityGBs: 50}, {Name: "b", CapacityGBs: 50}}
+	_, binding, err := SeriesThroughput(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binding != 0 {
+		t.Errorf("tie should bind earliest stage, got %d", binding)
+	}
+}
+
+// Property: series throughput equals the minimum capacity and never
+// exceeds any stage.
+func TestSeriesPropertyMin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		stages := make([]Stage, n)
+		min := 1e18
+		for i := range stages {
+			c := 1 + rng.Float64()*1000
+			stages[i] = Stage{Name: "s", CapacityGBs: c}
+			if c < min {
+				min = c
+			}
+		}
+		max, binding, err := SeriesThroughput(stages)
+		if err != nil {
+			return false
+		}
+		return max == min && stages[binding].CapacityGBs == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	stages := []Stage{
+		{Name: "noc", CapacityGBs: 200},
+		{Name: "mem", CapacityGBs: 100},
+	}
+	reports, err := Analyze(stages, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Utilization != 0.25 || reports[1].Utilization != 0.5 {
+		t.Errorf("utilizations %v", reports)
+	}
+	if reports[0].Binding || !reports[1].Binding {
+		t.Error("mem should be the binding stage")
+	}
+	// Overload clamps at the series max.
+	over, err := Analyze(stages, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over[1].Utilization != 1 || over[0].Utilization != 0.5 {
+		t.Errorf("overload utilizations %v", over)
+	}
+	if _, err := Analyze(stages, 0); err == nil {
+		t.Error("zero load should fail")
+	}
+}
+
+// Implication #5 on the canonical GPUs: with the calibrated capacity
+// profiles, DRAM - not the NoC - is the series bottleneck, as on real
+// hardware.
+func TestCanonicalGPUsAreMemoryBound(t *testing.T) {
+	for _, cfg := range gpu.AllConfigs() {
+		prof, err := bandwidth.ProfileFor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stages, err := Hierarchy(cfg, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, binding, err := MemoryBound(stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s: bottleneck is %q, want DRAM channels", cfg.Name, binding.Name)
+		}
+		factor, err := NetworkWallFactor(stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if factor != 1 {
+			t.Errorf("%s: network-wall factor %.2f, want 1 (no wall)", cfg.Name, factor)
+		}
+	}
+}
+
+// Starving the NoC-MEM interface creates the network wall the paper warns
+// about, quantified by the wall factor.
+func TestStarvedInterfaceCreatesWall(t *testing.T) {
+	cfg := gpu.V100()
+	prof, err := bandwidth.ProfileFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.MPPortGBs = 40 // 8 MPs x 40 = 320 GB/s interface vs 792 GB/s DRAM
+	stages, err := Hierarchy(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, binding, err := MemoryBound(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("starved interface should not be memory bound")
+	}
+	if binding.Name != "NoC-MEM interface" {
+		t.Errorf("bottleneck %q, want NoC-MEM interface", binding.Name)
+	}
+	factor, err := NetworkWallFactor(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor < 2 {
+		t.Errorf("wall factor %.2f, want > 2 for this starvation", factor)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	cfg := gpu.V100()
+	prof, err := bandwidth.ProfileFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.GPCs = 0
+	if _, err := Hierarchy(bad, prof); err == nil {
+		t.Error("bad config should fail")
+	}
+	if _, err := Hierarchy(cfg, bandwidth.Profile{}); err == nil {
+		t.Error("bad profile should fail")
+	}
+}
+
+func TestNetworkWallFactorNeedsDRAM(t *testing.T) {
+	if _, err := NetworkWallFactor([]Stage{{Name: "x", CapacityGBs: 1}}); err == nil {
+		t.Error("hierarchy without DRAM should fail")
+	}
+}

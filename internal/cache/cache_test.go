@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{SizeBytes: 8192, LineBytes: 128, SectorBytes: 32, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultSliceConfig(192 * 1024).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 128, SectorBytes: 32, Ways: 4},
+		{SizeBytes: 8192, LineBytes: 100, SectorBytes: 32, Ways: 4},
+		{SizeBytes: 8192, LineBytes: 128, SectorBytes: 48, Ways: 4},
+		{SizeBytes: 8192, LineBytes: 32, SectorBytes: 128, Ways: 4},
+		{SizeBytes: 1000, LineBytes: 128, SectorBytes: 32, Ways: 4},
+		{SizeBytes: 8192, LineBytes: 128, SectorBytes: 32, Ways: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New should reject config %d", i)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small(t)
+	if c.Access(0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("stats %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestSectorGranularity(t *testing.T) {
+	c := small(t)
+	c.Access(0x1000) // sector 0 of the line
+	if c.Access(0x1020) {
+		t.Error("different sector of the same line should sector-miss")
+	}
+	if c.SectorMisses != 1 {
+		t.Errorf("sector misses %d, want 1", c.SectorMisses)
+	}
+	if !c.Access(0x1020) || !c.Access(0x1000) {
+		t.Error("both sectors should now hit")
+	}
+	// A sector miss does not evict.
+	if c.Evictions != 0 {
+		t.Error("sector fill should not evict")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small(t) // 16 sets x 4 ways
+	// Fill one set: addresses that share set bits (stride = sets*line).
+	stride := uint64(16 * 128)
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * stride)
+	}
+	// Touch line 0 to make line 1 the LRU.
+	c.Access(0)
+	// Allocate a fifth line: must evict line 1 (the LRU), not line 0.
+	c.Access(4 * stride)
+	if c.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", c.Evictions)
+	}
+	if !c.Contains(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(1 * stride) {
+		t.Error("LRU line should have been evicted")
+	}
+}
+
+func TestContainsDoesNotTouch(t *testing.T) {
+	c := small(t)
+	if c.Contains(0x40) {
+		t.Error("empty cache contains nothing")
+	}
+	c.Access(0x40)
+	h, m := c.Hits, c.Misses
+	c.Contains(0x40)
+	if c.Hits != h || c.Misses != m {
+		t.Error("Contains must not perturb stats")
+	}
+}
+
+func TestResetAndHitRate(t *testing.T) {
+	c := small(t)
+	if c.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", c.HitRate())
+	}
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 || c.Contains(0) {
+		t.Error("reset incomplete")
+	}
+}
+
+// Property: a working set that fits always hits after one warm pass; one
+// that exceeds capacity by 2x always evicts under a cyclic sweep.
+func TestPropertyWarmupSemantics(t *testing.T) {
+	c := small(t) // 8 KiB
+	// Fit: 4 KiB of sector-strided accesses.
+	for addr := uint64(0); addr < 4096; addr += 32 {
+		c.Access(addr)
+	}
+	for addr := uint64(0); addr < 4096; addr += 32 {
+		if !c.Access(addr) {
+			t.Fatalf("warm working set missed at %#x", addr)
+		}
+	}
+	c.Reset()
+	// Overflow: 16 KiB cyclic sweep thrashes with LRU.
+	for pass := 0; pass < 3; pass++ {
+		for addr := uint64(0); addr < 16384; addr += 32 {
+			c.Access(addr)
+		}
+	}
+	if rate := c.HitRate(); rate > 0.5 {
+		t.Errorf("cyclic over-capacity sweep hit rate %.2f, want thrashing", rate)
+	}
+}
+
+// Property: stats always reconcile and residency never exceeds capacity.
+func TestPropertyAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(Config{SizeBytes: 4096, LineBytes: 128, SectorBytes: 32, Ways: 2})
+		if err != nil {
+			return false
+		}
+		n := 200 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			c.Access(uint64(rng.Intn(1 << 16)))
+		}
+		if c.Hits+c.Misses != uint64(n) {
+			return false
+		}
+		resident := 0
+		for _, set := range c.sets {
+			if len(set) > c.cfg.Ways {
+				return false
+			}
+			resident += len(set)
+		}
+		return resident <= c.cfg.SizeBytes/c.cfg.LineBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

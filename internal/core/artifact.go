@@ -1,0 +1,309 @@
+// Package core is the characterization engine: it ties the substrates
+// (gpu, bandwidth, kernel, microbench, noc, sidechannel, workload)
+// together into a registry of runnable experiments - one per table and
+// figure of the paper - plus programmatic checks for the paper's twelve
+// observations. The cmd/nocchar binary and the repository's benchmark
+// harness are thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Artifact is one renderable experiment output (a figure panel or table).
+type Artifact interface {
+	// Title names the artifact, e.g. "Fig 1(a): L2 latency from SM 24".
+	Title() string
+	// Render returns a human-readable text rendering.
+	Render() string
+	// CSV returns the artifact as comma-separated values for plotting.
+	CSV() string
+}
+
+// Series is an (x, y) line or bar series.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Title implements Artifact.
+func (s *Series) Title() string { return s.Name }
+
+// Render implements Artifact with an ASCII column plot.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s vs %s\n", s.Name, s.YLabel, s.XLabel)
+	lo, hi := minmax(s.Y)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	const width = 50
+	for i := range s.X {
+		bar := int(float64(width) * (s.Y[i] - lo) / span)
+		fmt.Fprintf(&b, "%10.2f | %-*s %.3f\n", s.X[i], width, strings.Repeat("*", bar), s.Y[i])
+	}
+	return b.String()
+}
+
+// CSV implements Artifact.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,%s\n", csvEscape(s.XLabel), csvEscape(s.YLabel))
+	for i := range s.X {
+		fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// MultiSeries is several named y-series over a shared x axis.
+type MultiSeries struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Lines  []NamedLine
+}
+
+// NamedLine is one line of a MultiSeries.
+type NamedLine struct {
+	Label string
+	Y     []float64
+}
+
+// Title implements Artifact.
+func (m *MultiSeries) Title() string { return m.Name }
+
+// Render implements Artifact.
+func (m *MultiSeries) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s vs %s\n", m.Name, m.YLabel, m.XLabel)
+	fmt.Fprintf(&b, "%10s", m.XLabel)
+	for _, l := range m.Lines {
+		fmt.Fprintf(&b, " %14s", l.Label)
+	}
+	b.WriteString("\n")
+	for i := range m.X {
+		fmt.Fprintf(&b, "%10.2f", m.X[i])
+		for _, l := range m.Lines {
+			if i < len(l.Y) {
+				fmt.Fprintf(&b, " %14.3f", l.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV implements Artifact.
+func (m *MultiSeries) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(m.XLabel))
+	for _, l := range m.Lines {
+		b.WriteString("," + csvEscape(l.Label))
+	}
+	b.WriteString("\n")
+	for i := range m.X {
+		fmt.Fprintf(&b, "%g", m.X[i])
+		for _, l := range m.Lines {
+			if i < len(l.Y) {
+				fmt.Fprintf(&b, ",%g", l.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table is a labelled grid of strings.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// Title implements Artifact.
+func (t *Table) Title() string { return t.Name }
+
+// Render implements Artifact.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Name + "\n")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV implements Artifact.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(escapeAll(t.Columns), ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(escapeAll(row), ",") + "\n")
+	}
+	return b.String()
+}
+
+// Heatmap is a labelled value grid (e.g. the Fig. 6 Pearson heatmaps).
+type Heatmap struct {
+	Name    string
+	XLabels []string
+	YLabels []string
+	Values  [][]float64
+	// Lo and Hi clamp the rendering scale; equal values auto-scale.
+	Lo, Hi float64
+}
+
+// Title implements Artifact.
+func (h *Heatmap) Title() string { return h.Name }
+
+// shades maps intensity to glyphs, light to dark.
+var shades = []byte(" .:-=+*#%@")
+
+// Render implements Artifact.
+func (h *Heatmap) Render() string {
+	lo, hi := h.Lo, h.Hi
+	if lo == hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, row := range h.Values {
+			for _, v := range row {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if lo > hi {
+			lo, hi = 0, 1
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (scale %.2f..%.2f, light..dark)\n", h.Name, lo, hi)
+	labelW := 0
+	for _, l := range h.YLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for y, row := range h.Values {
+		label := ""
+		if y < len(h.YLabels) {
+			label = h.YLabels[y]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelW, label)
+		for _, v := range row {
+			f := (v - lo) / span
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			idx := int(f * float64(len(shades)-1))
+			b.WriteByte(shades[idx])
+			b.WriteByte(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// CSV implements Artifact.
+func (h *Heatmap) CSV() string {
+	var b strings.Builder
+	b.WriteString("," + strings.Join(escapeAll(h.XLabels), ",") + "\n")
+	for y, row := range h.Values {
+		label := ""
+		if y < len(h.YLabels) {
+			label = h.YLabels[y]
+		}
+		b.WriteString(csvEscape(label))
+		for _, v := range row {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Text is a free-form artifact (diagrams, commentary).
+type Text struct {
+	Name string
+	Body string
+}
+
+// Title implements Artifact.
+func (t *Text) Title() string { return t.Name }
+
+// Render implements Artifact.
+func (t *Text) Render() string { return t.Name + "\n" + t.Body }
+
+// CSV implements Artifact.
+func (t *Text) CSV() string { return csvEscape(t.Body) + "\n" }
+
+func minmax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func escapeAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = csvEscape(s)
+	}
+	return out
+}

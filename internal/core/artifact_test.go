@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesRenderAndCSV(t *testing.T) {
+	s := &Series{Name: "test", XLabel: "x", YLabel: "y", X: []float64{1, 2}, Y: []float64{3, 4}}
+	if s.Title() != "test" {
+		t.Error("title")
+	}
+	out := s.Render()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "*") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "x,y\n") || !strings.Contains(csv, "1,3") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestSeriesRenderConstant(t *testing.T) {
+	s := &Series{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}
+	if s.Render() == "" {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestMultiSeries(t *testing.T) {
+	m := &MultiSeries{
+		Name: "multi", XLabel: "n", YLabel: "v",
+		X: []float64{1, 2, 3},
+		Lines: []NamedLine{
+			{Label: "a", Y: []float64{1, 2, 3}},
+			{Label: "b", Y: []float64{4, 5}}, // short line
+		},
+	}
+	out := m.Render()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") || !strings.Contains(out, "-") {
+		t.Errorf("render:\n%s", out)
+	}
+	csv := m.CSV()
+	if !strings.HasPrefix(csv, "n,a,b\n") {
+		t.Errorf("csv header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "3,3,\n") {
+		t.Errorf("short line should leave empty cell:\n%s", csv)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{
+		Name:    "tbl",
+		Columns: []string{"k", "value"},
+		Rows:    [][]string{{"a", "1"}, {"b,c", "2"}},
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "value") || !strings.Contains(out, "b,c") {
+		t.Errorf("render:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"b,c",2`) {
+		t.Errorf("csv escaping wrong:\n%s", csv)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := &Heatmap{
+		Name:    "hm",
+		XLabels: []string{"a", "b"},
+		YLabels: []string{"r1", "r2"},
+		Values:  [][]float64{{0, 1}, {0.5, 0.25}},
+	}
+	out := h.Render()
+	if !strings.Contains(out, "r1") || !strings.Contains(out, "@") {
+		t.Errorf("render:\n%s", out)
+	}
+	csv := h.CSV()
+	if !strings.HasPrefix(csv, ",a,b\n") || !strings.Contains(csv, "r1,0,1") {
+		t.Errorf("csv:\n%s", csv)
+	}
+	// Fixed scale clamps out-of-range values.
+	h.Lo, h.Hi = 0, 0.5
+	if h.Render() == "" {
+		t.Error("fixed-scale render failed")
+	}
+	// Degenerate constant heatmap.
+	flat := &Heatmap{Name: "flat", Values: [][]float64{{2, 2}}}
+	if flat.Render() == "" {
+		t.Error("constant heatmap should render")
+	}
+	empty := &Heatmap{Name: "empty"}
+	if empty.Render() == "" {
+		t.Error("empty heatmap should render its header")
+	}
+}
+
+func TestTextArtifact(t *testing.T) {
+	x := &Text{Name: "n", Body: "body, with comma"}
+	if x.Title() != "n" || !strings.Contains(x.Render(), "body") {
+		t.Error("text artifact broken")
+	}
+	if !strings.HasPrefix(x.CSV(), `"body, with comma"`) {
+		t.Errorf("csv escaping: %s", x.CSV())
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"a,b":        `"a,b"`,
+		`quote"here`: `"quote""here"`,
+		"line\nfeed": "\"line\nfeed\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	register(&Experiment{ID: "table1"})
+}

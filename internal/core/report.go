@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"gpunoc/internal/gpu"
+)
+
+// WriteReport runs every experiment applicable to the given generations
+// and writes a self-contained Markdown report: per experiment, the
+// paper's claim and the model's artifacts. It is the one-command
+// regeneration of the paper's evaluation section.
+func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) error {
+	if len(cfgs) == 0 {
+		return fmt.Errorf("core: no generations to report on")
+	}
+	fmt.Fprintf(w, "# gpunoc characterization report\n\n")
+	fmt.Fprintf(w, "Generated %s; quick mode: %v.\n\n", now.Format("2006-01-02 15:04 MST"), quick)
+
+	ctxs := map[gpu.Generation]*Context{}
+	for _, cfg := range cfgs {
+		ctx, err := NewContext(cfg, quick)
+		if err != nil {
+			return err
+		}
+		ctxs[cfg.Name] = ctx
+	}
+
+	for _, e := range All() {
+		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(w, "*Paper:* %s\n\n", e.Paper)
+		ran := false
+		for _, cfg := range cfgs {
+			if !e.SupportsGPU(cfg.Name) {
+				continue
+			}
+			arts, err := e.Run(ctxs[cfg.Name])
+			if err != nil {
+				fmt.Fprintf(w, "`%s` on %s: not applicable (%v)\n\n", e.ID, cfg.Name, err)
+				continue
+			}
+			ran = true
+			for _, a := range arts {
+				fmt.Fprintf(w, "```\n%s```\n\n", ensureTrailingNewline(a.Render()))
+			}
+		}
+		if !ran {
+			fmt.Fprintf(w, "_No selected generation supports this experiment._\n\n")
+		}
+	}
+
+	// Close with the observation checklist.
+	fmt.Fprintf(w, "## Observations #1–#12\n\n")
+	obs, err := CheckObservations()
+	if err != nil {
+		return err
+	}
+	for _, o := range obs {
+		mark := "x"
+		if !o.Pass {
+			mark = " "
+		}
+		fmt.Fprintf(w, "- [%s] #%d %s — %s\n", mark, o.ID, o.Text, o.Detail)
+	}
+	return nil
+}
+
+func ensureTrailingNewline(s string) string {
+	if len(s) == 0 || s[len(s)-1] != '\n' {
+		return s + "\n"
+	}
+	return s
+}
+
+// ArtifactJSON is the portable encoding of one artifact.
+type ArtifactJSON struct {
+	Title string `json:"title"`
+	Kind  string `json:"kind"`
+	// CSV carries the tabular payload; Body carries free text.
+	CSV  string `json:"csv,omitempty"`
+	Body string `json:"body,omitempty"`
+}
+
+// MarshalArtifacts encodes artifacts as JSON for programmatic consumers.
+func MarshalArtifacts(arts []Artifact) ([]byte, error) {
+	out := make([]ArtifactJSON, 0, len(arts))
+	for _, a := range arts {
+		j := ArtifactJSON{Title: a.Title()}
+		switch v := a.(type) {
+		case *Series:
+			j.Kind = "series"
+			j.CSV = v.CSV()
+		case *MultiSeries:
+			j.Kind = "multiseries"
+			j.CSV = v.CSV()
+		case *Table:
+			j.Kind = "table"
+			j.CSV = v.CSV()
+		case *Heatmap:
+			j.Kind = "heatmap"
+			j.CSV = v.CSV()
+		case *Text:
+			j.Kind = "text"
+			j.Body = v.Body
+		default:
+			j.Kind = "unknown"
+			j.CSV = a.CSV()
+		}
+		out = append(out, j)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

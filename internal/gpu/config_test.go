@@ -1,0 +1,108 @@
+package gpu
+
+import "testing"
+
+func TestCanonicalConfigsValidate(t *testing.T) {
+	for _, cfg := range AllConfigs() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestTableICounts(t *testing.T) {
+	cases := []struct {
+		cfg         Config
+		sms, perGPC int
+	}{
+		{V100(), 84, 14},
+		{A100(), 128, 16},
+		{H100(), 144, 18},
+	}
+	for _, c := range cases {
+		if got := c.cfg.SMs(); got != c.sms {
+			t.Errorf("%s SMs = %d, want %d", c.cfg.Name, got, c.sms)
+		}
+		if got := c.cfg.SMsPerGPC(); got != c.perGPC {
+			t.Errorf("%s SMsPerGPC = %d, want %d", c.cfg.Name, got, c.perGPC)
+		}
+	}
+}
+
+func TestMemoryBandwidthProgression(t *testing.T) {
+	// Table I: off-chip bandwidth strictly increases across generations, as
+	// does the aggregate L2 fabric factor (Observation #7/#10).
+	cfgs := AllConfigs()
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].MemBWGBs <= cfgs[i-1].MemBWGBs {
+			t.Errorf("%s mem BW %.0f not > %s's %.0f", cfgs[i].Name, cfgs[i].MemBWGBs, cfgs[i-1].Name, cfgs[i-1].MemBWGBs)
+		}
+		if cfgs[i].L2FabricFactor <= cfgs[i-1].L2FabricFactor {
+			t.Errorf("%s fabric factor not increasing", cfgs[i].Name)
+		}
+	}
+	for _, cfg := range cfgs {
+		if cfg.L2FabricFactor < 2.4 || cfg.L2FabricFactor > 3.5 {
+			t.Errorf("%s L2 fabric factor %.1f outside the paper's 2.4-3.5x band", cfg.Name, cfg.L2FabricFactor)
+		}
+	}
+}
+
+func TestTPCsPerCPC(t *testing.T) {
+	if got := H100().TPCsPerCPC(); got != 3 {
+		t.Errorf("H100 TPCsPerCPC = %d, want 3", got)
+	}
+	if got := V100().TPCsPerCPC(); got != 0 {
+		t.Errorf("V100 TPCsPerCPC = %d, want 0 (no CPC level)", got)
+	}
+}
+
+func TestSlicesPerMP(t *testing.T) {
+	if got := V100().SlicesPerMP(); got != 4 {
+		t.Errorf("V100 SlicesPerMP = %d, want 4", got)
+	}
+	if got := A100().SlicesPerMP(); got != 8 {
+		t.Errorf("A100 SlicesPerMP = %d, want 8", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero GPCs", func(c *Config) { c.GPCs = 0 }},
+		{"partition split", func(c *Config) { c.Partitions = 5 }},
+		{"slice split", func(c *Config) { c.L2Slices = 33 }},
+		{"mp partition split", func(c *Config) { c.MPs = 9; c.Partitions = 2 }},
+		{"cpc split", func(c *Config) { c.CPCsPerGPC = 4 }},
+		{"line size", func(c *Config) { c.CacheLineBytes = 100 }},
+		{"line size zero", func(c *Config) { c.CacheLineBytes = 0 }},
+		{"mem bw", func(c *Config) { c.MemBWGBs = 0 }},
+	}
+	for _, m := range mutations {
+		cfg := V100()
+		m.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", m.name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"v100", "V100", "a100", "h100", "H100"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("p100"); err == nil {
+		t.Error("ByName(p100) should fail")
+	}
+}
+
+func TestAllConfigsOrder(t *testing.T) {
+	cfgs := AllConfigs()
+	if len(cfgs) != 3 || cfgs[0].Name != GenV100 || cfgs[1].Name != GenA100 || cfgs[2].Name != GenH100 {
+		t.Errorf("AllConfigs order wrong: %v", []Generation{cfgs[0].Name, cfgs[1].Name, cfgs[2].Name})
+	}
+}

@@ -1,0 +1,133 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gpunoc/internal/floorplan"
+)
+
+// CustomSpec describes a speculative GPU generation for design-space
+// exploration: the paper's implications (provision the NoC so memory
+// stays the bottleneck, expect placement-driven latency spread, watch
+// partition effects) can then be evaluated on designs that do not exist.
+type CustomSpec struct {
+	Name       string
+	GPCs       int
+	TPCsPerGPC int
+	// CPCsPerGPC is optional (0 = no CPC level).
+	CPCsPerGPC int
+	Partitions int
+	L2Slices   int
+	MPs        int
+	// MemBWGBs is the off-chip peak bandwidth.
+	MemBWGBs float64
+	// L2FabricFactor provisions the on-chip fabric as a multiple of
+	// MemBWGBs (real GPUs: 2.4-3.5, Observation #7).
+	L2FabricFactor float64
+	// L2SizeMiB sizes the cache (0 defaults to 8 MiB per 1000 GB/s).
+	L2SizeMiB int
+	// CoreClockMHz defaults to 1400.
+	CoreClockMHz int
+	// LocalL2Caching opts into H100-style partition-local caching.
+	LocalL2Caching bool
+}
+
+// Custom builds a validated Config for a speculative generation, deriving
+// the floorplan from the hierarchy and reusing the V100-calibrated
+// latency constants (with the A100-calibrated partition-crossing penalty
+// when the design is partitioned).
+func Custom(spec CustomSpec) (Config, error) {
+	if spec.Name == "" {
+		return Config{}, fmt.Errorf("gpu: custom generation needs a name")
+	}
+	clock := spec.CoreClockMHz
+	if clock == 0 {
+		clock = 1400
+	}
+	l2MiB := spec.L2SizeMiB
+	if l2MiB == 0 {
+		l2MiB = int(spec.MemBWGBs/1000*8) + 4
+	}
+	rows := 1
+	gpcPerPart := 0
+	if spec.Partitions > 0 {
+		gpcPerPart = spec.GPCs / spec.Partitions
+	}
+	// Pair GPCs into columns when that divides evenly and the design is
+	// monolithic, like V100; otherwise one GPC per column.
+	if spec.Partitions == 1 && gpcPerPart%2 == 0 {
+		rows = 2
+	}
+	cols := gpcPerPart / rows
+	mpPerPart := 0
+	if spec.Partitions > 0 {
+		mpPerPart = spec.MPs / spec.Partitions
+	}
+	// Keep the MP band wider than the GPC array (the die-periphery
+	// placement all canonical floorplans use).
+	mpPitch := 1.5
+	if cols > 0 && mpPerPart > 0 {
+		for float64(mpPerPart)*mpPitch < float64(cols)*2 {
+			mpPitch *= 1.5
+		}
+	}
+	cal := Calibration{
+		BaseRTT:         158,
+		WireRTT:         7,
+		SliceSpread:     15,
+		MPExtraMax:      6,
+		SMOffsetTPCStep: 1.0,
+		SMOffsetOddStep: 0.5,
+		NoiseSigma:      2,
+		DRAMPenalty:     230,
+	}
+	if spec.Partitions > 1 {
+		cal.CrossPenaltyRTT = 75
+	}
+	if spec.LocalL2Caching {
+		cal.CrossPenaltyRTT = 0
+		cal.HomeCrossPenalty = 170
+	}
+	if spec.CPCsPerGPC > 0 {
+		cal.DSMBase = 196
+		cal.DSMWire = 4.25
+	}
+	cfg := Config{
+		Name:           Generation(spec.Name),
+		GPCs:           spec.GPCs,
+		TPCsPerGPC:     spec.TPCsPerGPC,
+		SMsPerTPC:      2,
+		CPCsPerGPC:     spec.CPCsPerGPC,
+		Partitions:     spec.Partitions,
+		L2Slices:       spec.L2Slices,
+		MPs:            spec.MPs,
+		MemBWGBs:       spec.MemBWGBs,
+		L2FabricFactor: spec.L2FabricFactor,
+		L2SizeMiB:      l2MiB,
+		CoreClockMHz:   clock,
+		CacheLineBytes: 128,
+		LocalL2Caching: spec.LocalL2Caching,
+		Cal:            cal,
+		Floorplan: floorplan.Spec{
+			Name:       spec.Name,
+			Partitions: spec.Partitions,
+			GPCs:       spec.GPCs,
+			GPCRows:    rows,
+			CPCsPerGPC: spec.CPCsPerGPC,
+			MPs:        spec.MPs,
+			ColPitch:   2,
+			MPPitch:    mpPitch,
+			PartitionGap: func() float64 {
+				if spec.Partitions > 1 {
+					return 4
+				}
+				return 0
+			}(),
+		},
+		Seed: mix(0xc057, uint64(len(spec.Name)), uint64(spec.GPCs)<<16|uint64(spec.L2Slices)),
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

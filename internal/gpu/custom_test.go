@@ -1,0 +1,123 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpunoc/internal/stats"
+)
+
+func customSpec() CustomSpec {
+	return CustomSpec{
+		Name:           "X200",
+		GPCs:           10,
+		TPCsPerGPC:     8,
+		Partitions:     2,
+		L2Slices:       100,
+		MPs:            10,
+		MemBWGBs:       5000,
+		L2FabricFactor: 3.2,
+	}
+}
+
+func TestCustomBuildsValidDevice(t *testing.T) {
+	cfg, err := Custom(customSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Config().SMs() != 160 {
+		t.Errorf("SMs = %d, want 160", dev.Config().SMs())
+	}
+	if dev.Config().L2SizeMiB == 0 || dev.Config().CoreClockMHz == 0 {
+		t.Error("defaults not applied")
+	}
+	// The speculative design still shows the paper's phenomena:
+	// non-uniform latency and a far-partition penalty.
+	var near, far []float64
+	for _, sm := range dev.SMsOfGPC(0) {
+		for s := 0; s < cfg.L2Slices; s += 3 {
+			l := dev.L2HitLatencyMean(sm, s)
+			if dev.PartitionOfSlice(s) == dev.PartitionOfSM(sm) {
+				near = append(near, l)
+			} else {
+				far = append(far, l)
+			}
+		}
+	}
+	if stats.Mean(far) < stats.Mean(near)+50 {
+		t.Errorf("custom partitioned design should show a crossing penalty: near %.0f far %.0f",
+			stats.Mean(near), stats.Mean(far))
+	}
+	nearSum := stats.Summarize(near)
+	if nearSum.Max-nearSum.Min < 20 {
+		t.Error("custom design should still be latency-non-uniform")
+	}
+}
+
+func TestCustomMonolithicPairsColumns(t *testing.T) {
+	spec := customSpec()
+	spec.Partitions = 1
+	spec.GPCs = 6
+	spec.L2Slices = 48
+	spec.MPs = 8
+	cfg, err := Custom(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Floorplan.GPCRows != 2 {
+		t.Errorf("monolithic even-GPC design should pair columns, rows = %d", cfg.Floorplan.GPCRows)
+	}
+	if cfg.Cal.CrossPenaltyRTT != 0 {
+		t.Error("monolithic design has no crossing penalty")
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomWithCPCsAndLocalCaching(t *testing.T) {
+	spec := customSpec()
+	spec.CPCsPerGPC = 4
+	spec.LocalL2Caching = true
+	cfg, err := Custom(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.CPCOf(0) != 0 {
+		t.Error("CPC level missing")
+	}
+	if _, err := dev.SMToSMLatencyMean(0, dev.SMsOfGPC(0)[5]); err != nil {
+		t.Errorf("custom CPC design should have an SM-to-SM network: %v", err)
+	}
+	// Hits stay local.
+	for s := 0; s < cfg.L2Slices; s += 7 {
+		if dev.PartitionOfSlice(dev.ServingSliceID(0, s)) != dev.PartitionOfSM(0) {
+			t.Fatal("local caching not applied")
+		}
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	bad := customSpec()
+	bad.Name = ""
+	if _, err := Custom(bad); err == nil {
+		t.Error("unnamed spec should fail")
+	}
+	bad = customSpec()
+	bad.GPCs = 5 // not divisible across 2 partitions
+	if _, err := Custom(bad); err == nil {
+		t.Error("indivisible GPCs should fail")
+	}
+	bad = customSpec()
+	bad.MemBWGBs = 0
+	if _, err := Custom(bad); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+}

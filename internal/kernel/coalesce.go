@@ -1,0 +1,43 @@
+package kernel
+
+// Coalesce groups the per-lane byte addresses of one warp memory
+// instruction into unique cache lines of the given size, preserving
+// first-touch order. The returned slice holds line-aligned base addresses.
+//
+// The number of unique lines determines the instruction's service time:
+// the paper's AES side channel (Sec. V-B.1, Fig. 17a) rests on the
+// latency being linearly proportional to this count.
+func Coalesce(addrs []uint64, lineBytes int) []uint64 {
+	mask := ^uint64(lineBytes - 1)
+	lines := make([]uint64, 0, len(addrs))
+	if len(addrs) <= 2*WarpSize {
+		// Warp-sized accesses: a linear dedup beats a map allocation.
+	outer:
+		for _, a := range addrs {
+			line := a & mask
+			for _, seen := range lines {
+				if seen == line {
+					continue outer
+				}
+			}
+			lines = append(lines, line)
+		}
+		return lines
+	}
+	seen := make(map[uint64]struct{}, len(addrs))
+	for _, a := range addrs {
+		line := a & mask
+		if _, ok := seen[line]; ok {
+			continue
+		}
+		seen[line] = struct{}{}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// UniqueLines returns only the count of unique cache lines touched by the
+// warp access, the quantity attackers infer from timing.
+func UniqueLines(addrs []uint64, lineBytes int) int {
+	return len(Coalesce(addrs, lineBytes))
+}

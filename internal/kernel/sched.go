@@ -1,0 +1,119 @@
+// Package kernel provides a warp-granularity GPU kernel runtime over the
+// device model of package gpu: thread blocks are assigned to SMs by a
+// pluggable thread-block scheduler, warps execute memory instructions whose
+// latency comes from the floorplan-derived NoC model, and a per-warp cycle
+// counter plays the role of CUDA's clock(). The paper's micro-benchmarks
+// (Algorithms 1 and 2) and its side-channel kernels (AES, RSA) are written
+// against this API.
+package kernel
+
+import "fmt"
+
+// Scheduler assigns thread blocks to SMs. The paper observes that the
+// production thread-block scheduler is effectively static - re-running a
+// kernel lands blocks on the same SMs, making the non-uniform NoC latency
+// repeatable and hence exploitable - and proposes random(-seed) scheduling
+// as a defence (Implication #3).
+type Scheduler interface {
+	// Assign returns a slice of length numBlocks mapping each block index
+	// to the SM that executes it. numSMs must be positive.
+	Assign(numBlocks, numSMs int) []int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// StaticScheduler models the deterministic production scheduler: blocks
+// are dealt round-robin starting from SM 0 every launch.
+type StaticScheduler struct{}
+
+// Assign implements Scheduler.
+func (StaticScheduler) Assign(numBlocks, numSMs int) []int {
+	if numSMs <= 0 {
+		panic(fmt.Sprintf("kernel: Assign with numSMs=%d", numSMs))
+	}
+	out := make([]int, numBlocks)
+	for b := range out {
+		out[b] = b % numSMs
+	}
+	return out
+}
+
+// Name implements Scheduler.
+func (StaticScheduler) Name() string { return "static" }
+
+// RandomScheduler is the paper's proposed defence: a random-seed scheduler
+// that begins the round-robin assignment at a random SM on every launch,
+// so repeated runs of the same kernel observe different (and hence
+// non-correlatable) NoC latencies. It needs no extra hardware beyond a
+// seed (Sec. V-C).
+type RandomScheduler struct {
+	// Rand returns the next raw random value; seeded by the caller so the
+	// whole experiment is reproducible.
+	Rand func() uint64
+}
+
+// Assign implements Scheduler.
+func (r RandomScheduler) Assign(numBlocks, numSMs int) []int {
+	if numSMs <= 0 {
+		panic(fmt.Sprintf("kernel: Assign with numSMs=%d", numSMs))
+	}
+	if r.Rand == nil {
+		panic("kernel: RandomScheduler without Rand source")
+	}
+	offset := int(r.Rand() % uint64(numSMs))
+	out := make([]int, numBlocks)
+	for b := range out {
+		out[b] = (b + offset) % numSMs
+	}
+	return out
+}
+
+// Name implements Scheduler.
+func (RandomScheduler) Name() string { return "random" }
+
+// PinnedScheduler places every block on one fixed SM. The paper pins
+// kernels to particular SMs via the smid register to map the NoC; this is
+// the runtime's equivalent.
+type PinnedScheduler struct {
+	SM int
+}
+
+// Assign implements Scheduler.
+func (p PinnedScheduler) Assign(numBlocks, numSMs int) []int {
+	if p.SM < 0 || p.SM >= numSMs {
+		panic(fmt.Sprintf("kernel: pinned SM %d out of range [0, %d)", p.SM, numSMs))
+	}
+	out := make([]int, numBlocks)
+	for b := range out {
+		out[b] = p.SM
+	}
+	return out
+}
+
+// Name implements Scheduler.
+func (p PinnedScheduler) Name() string { return fmt.Sprintf("pinned(%d)", p.SM) }
+
+// ListScheduler places block b on SMs[b % len(SMs)]; used to co-locate
+// kernels on chosen SM sets (e.g. the two-SM RSA square kernel).
+type ListScheduler struct {
+	SMs []int
+}
+
+// Assign implements Scheduler.
+func (l ListScheduler) Assign(numBlocks, numSMs int) []int {
+	if len(l.SMs) == 0 {
+		panic("kernel: ListScheduler with empty SM list")
+	}
+	out := make([]int, numBlocks)
+	for b := range out {
+		sm := l.SMs[b%len(l.SMs)]
+		if sm < 0 || sm >= numSMs {
+			panic(fmt.Sprintf("kernel: listed SM %d out of range [0, %d)", sm, numSMs))
+		}
+		out[b] = sm
+	}
+	return out
+}
+
+// Name implements Scheduler.
+func (ListScheduler) Name() string { return "list" }

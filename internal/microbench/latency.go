@@ -1,0 +1,220 @@
+// Package microbench implements the paper's measurement methodology
+// (Sec. II-C): Algorithm 1, the single-thread L2 latency probe, and
+// Algorithm 2, the multi-threaded L2-fabric bandwidth stream, plus the two
+// address-to-slice mapping techniques (profiler counters on V100, the
+// contention probe on A100/H100 where per-slice counters are gone).
+package microbench
+
+import (
+	"fmt"
+
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/kernel"
+	"gpunoc/internal/stats"
+)
+
+// LatencyResult summarizes one latency measurement.
+type LatencyResult struct {
+	Samples []float64
+	Summary stats.Describe
+}
+
+// addressSearchLimit bounds the scan for an address mapping to a slice.
+const addressSearchLimit = 1 << 16
+
+// MeasureL2Latency runs Algorithm 1: a single thread pinned on SM sm
+// issues L1-bypassing loads to an address resident in L2 slice slice,
+// timing each round trip with the warp clock. The L2 is warmed before
+// timing so every access hits.
+func MeasureL2Latency(dev *gpu.Device, sm, slice, iters int) (LatencyResult, error) {
+	return measureLatency(dev, sm, slice, iters, false)
+}
+
+// MeasureL2MissLatency is Algorithm 1 with a working set that always
+// misses in L2, so each timed access pays the home memory partition's
+// fill latency on top of the NoC round trip (the Fig. 8 bottom row).
+func MeasureL2MissLatency(dev *gpu.Device, sm, slice, iters int) (LatencyResult, error) {
+	return measureLatency(dev, sm, slice, iters, true)
+}
+
+func measureLatency(dev *gpu.Device, sm, slice, iters int, miss bool) (LatencyResult, error) {
+	cfg := dev.Config()
+	if sm < 0 || sm >= cfg.SMs() {
+		return LatencyResult{}, fmt.Errorf("microbench: SM %d out of range", sm)
+	}
+	if slice < 0 || slice >= cfg.L2Slices {
+		return LatencyResult{}, fmt.Errorf("microbench: slice %d out of range", slice)
+	}
+	if iters <= 0 {
+		return LatencyResult{}, fmt.Errorf("microbench: iters must be positive, got %d", iters)
+	}
+	addr, ok := dev.AddressForSlice(slice, 0, addressSearchLimit)
+	if !ok {
+		return LatencyResult{}, fmt.Errorf("microbench: no address maps to slice %d", slice)
+	}
+	m, err := kernel.NewMachine(dev, kernel.PinnedScheduler{SM: sm}, kernel.DefaultOptions())
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	samples := make([]float64, 0, iters)
+	// Algorithm 1 uses one thread of one warp: no coalescing, no
+	// contention from other lanes.
+	_, err = m.Launch(1, 1, func(w *kernel.Warp) {
+		addrs := []uint64{addr}
+		w.LoadCG(addrs) // warm up: bring the line into L2
+		for i := 0; i < iters; i++ {
+			t0 := w.Clock()
+			if miss {
+				w.LoadCGMiss(addrs)
+			} else {
+				w.LoadCG(addrs)
+			}
+			samples = append(samples, w.Clock()-t0)
+		}
+	})
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	return LatencyResult{Samples: samples, Summary: stats.Summarize(samples)}, nil
+}
+
+// LatencyProfile returns the mean L2 hit latency from SM sm to every L2
+// slice, the per-SM "profile" whose pairwise Pearson correlation drives
+// the placement analysis of Sec. III-B.
+func LatencyProfile(dev *gpu.Device, sm, iters int) ([]float64, error) {
+	cfg := dev.Config()
+	out := make([]float64, cfg.L2Slices)
+	for s := 0; s < cfg.L2Slices; s++ {
+		r, err := MeasureL2Latency(dev, sm, s, iters)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = r.Summary.Mean
+	}
+	return out, nil
+}
+
+// LatencyMatrix measures the full [SM][slice] mean-latency matrix.
+// sms selects the rows; nil means every SM.
+func LatencyMatrix(dev *gpu.Device, sms []int, iters int) ([][]float64, error) {
+	if sms == nil {
+		cfg := dev.Config()
+		sms = make([]int, cfg.SMs())
+		for i := range sms {
+			sms[i] = i
+		}
+	}
+	out := make([][]float64, len(sms))
+	for i, sm := range sms {
+		prof, err := LatencyProfile(dev, sm, iters)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = prof
+	}
+	return out, nil
+}
+
+// CorrelationHeatmap computes the SM-by-SM Pearson correlation matrix of
+// latency profiles (Fig. 6). sms selects the SMs; nil means all.
+func CorrelationHeatmap(dev *gpu.Device, sms []int, iters int) ([][]float64, error) {
+	profiles, err := LatencyMatrix(dev, sms, iters)
+	if err != nil {
+		return nil, err
+	}
+	return stats.CorrelationMatrix(profiles)
+}
+
+// SMToSMLatencyMatrix measures the H100 distributed-shared-memory latency
+// between CPC pairs of one GPC (Fig. 7b): entry [i][j] is the mean latency
+// of a remote-shared-memory load from a CPC-i SM to a CPC-j SM.
+func SMToSMLatencyMatrix(dev *gpu.Device, gpc, iters int) ([][]float64, error) {
+	cfg := dev.Config()
+	if cfg.CPCsPerGPC == 0 {
+		return nil, fmt.Errorf("microbench: %s has no SM-to-SM network", cfg.Name)
+	}
+	if gpc < 0 || gpc >= cfg.GPCs {
+		return nil, fmt.Errorf("microbench: GPC %d out of range", gpc)
+	}
+	n := cfg.CPCsPerGPC
+	out := make([][]float64, n)
+	for src := 0; src < n; src++ {
+		out[src] = make([]float64, n)
+		srcSM := dev.SMsOfCPC(gpc, src)[0]
+		for dst := 0; dst < n; dst++ {
+			dstSM := dev.SMsOfCPC(gpc, dst)[1]
+			m, err := kernel.NewMachine(dev, kernel.PinnedScheduler{SM: srcSM}, kernel.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			_, err = m.Launch(1, 1, func(w *kernel.Warp) {
+				for i := 0; i < iters; i++ {
+					lat, err := w.LoadRemoteShared(dstSM)
+					if err != nil {
+						return
+					}
+					sum += lat
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			out[src][dst] = sum / float64(iters)
+		}
+	}
+	return out, nil
+}
+
+// GPCToMPLatency returns the average L2 hit latency from the SMs of each
+// GPC to the slices of one MP (the Fig. 8 top row), indexed by GPC.
+func GPCToMPLatency(dev *gpu.Device, mp, iters int) ([]float64, error) {
+	cfg := dev.Config()
+	if mp < 0 || mp >= cfg.MPs {
+		return nil, fmt.Errorf("microbench: MP %d out of range", mp)
+	}
+	out := make([]float64, cfg.GPCs)
+	for g := 0; g < cfg.GPCs; g++ {
+		var xs []float64
+		for _, sm := range dev.SMsOfGPC(g) {
+			for _, s := range dev.SlicesOfMP(mp) {
+				r, err := MeasureL2Latency(dev, sm, s, iters)
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, r.Summary.Mean)
+			}
+		}
+		out[g] = stats.Mean(xs)
+	}
+	return out, nil
+}
+
+// GPCToMPMissPenalty returns the average L2 miss penalty (miss latency
+// minus hit latency) from each GPC's SMs for lines homed in one MP
+// (the Fig. 8 bottom row).
+func GPCToMPMissPenalty(dev *gpu.Device, mp, iters int) ([]float64, error) {
+	cfg := dev.Config()
+	if mp < 0 || mp >= cfg.MPs {
+		return nil, fmt.Errorf("microbench: MP %d out of range", mp)
+	}
+	out := make([]float64, cfg.GPCs)
+	for g := 0; g < cfg.GPCs; g++ {
+		var xs []float64
+		for _, sm := range dev.SMsOfGPC(g) {
+			for _, s := range dev.SlicesOfMP(mp) {
+				hit, err := MeasureL2Latency(dev, sm, s, iters)
+				if err != nil {
+					return nil, err
+				}
+				miss, err := MeasureL2MissLatency(dev, sm, s, iters)
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, miss.Summary.Mean-hit.Summary.Mean)
+			}
+		}
+		out[g] = stats.Mean(xs)
+	}
+	return out, nil
+}

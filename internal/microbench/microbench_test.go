@@ -1,0 +1,373 @@
+package microbench
+
+import (
+	"errors"
+	"testing"
+
+	"gpunoc/internal/bandwidth"
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/profiler"
+	"gpunoc/internal/stats"
+)
+
+func v100(t *testing.T) *gpu.Device {
+	t.Helper()
+	return gpu.MustNew(gpu.V100())
+}
+
+func engine(t *testing.T, cfg gpu.Config) *bandwidth.Engine {
+	t.Helper()
+	e, err := bandwidth.NewEngine(gpu.MustNew(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMeasureL2LatencyBasic(t *testing.T) {
+	dev := v100(t)
+	r, err := MeasureL2Latency(dev, 24, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.N != 32 {
+		t.Fatalf("samples = %d, want 32", r.Summary.N)
+	}
+	if r.Summary.Mean < 170 || r.Summary.Mean > 270 {
+		t.Errorf("latency %.1f outside the plausible V100 band", r.Summary.Mean)
+	}
+	// The measured mean approximates the model's mean for that pair.
+	want := dev.L2HitLatencyMean(24, 5)
+	if diff := r.Summary.Mean - want; diff > 3 || diff < -3 {
+		t.Errorf("measured %.1f vs model %.1f", r.Summary.Mean, want)
+	}
+}
+
+func TestMeasureL2LatencyValidation(t *testing.T) {
+	dev := v100(t)
+	if _, err := MeasureL2Latency(dev, -1, 0, 4); err == nil {
+		t.Error("bad SM should fail")
+	}
+	if _, err := MeasureL2Latency(dev, 0, 99, 4); err == nil {
+		t.Error("bad slice should fail")
+	}
+	if _, err := MeasureL2Latency(dev, 0, 0, 0); err == nil {
+		t.Error("zero iters should fail")
+	}
+}
+
+func TestMissLatencyExceedsHit(t *testing.T) {
+	dev := v100(t)
+	hit, err := MeasureL2Latency(dev, 0, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := MeasureL2MissLatency(dev, 0, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Summary.Mean < hit.Summary.Mean+150 {
+		t.Errorf("miss %.0f should exceed hit %.0f by the DRAM penalty", miss.Summary.Mean, hit.Summary.Mean)
+	}
+}
+
+func TestLatencyProfileNonUniform(t *testing.T) {
+	dev := v100(t)
+	prof, err := LatencyProfile(dev, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 32 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	sum := stats.Summarize(prof)
+	if sum.Max-sum.Min < 30 {
+		t.Errorf("profile spread %.1f too small; Observation #1 expects strong non-uniformity", sum.Max-sum.Min)
+	}
+}
+
+func TestCorrelationHeatmapStructure(t *testing.T) {
+	dev := v100(t)
+	// One SM per GPC for speed: SMs 0..5 are GPCs 0..5.
+	sms := []int{0, 1, 2, 3, 4, 5}
+	hm, err := CorrelationHeatmap(dev, sms, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm[0][1] < 0.85 {
+		t.Errorf("GPC0-GPC1 measured correlation %.2f, want high", hm[0][1])
+	}
+	if hm[0][4] > 0.3 {
+		t.Errorf("GPC0-GPC4 measured correlation %.2f, want low", hm[0][4])
+	}
+}
+
+func TestSMToSMLatencyMatrixH100(t *testing.T) {
+	dev := gpu.MustNew(gpu.H100())
+	m, err := SMToSMLatencyMatrix(dev, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("matrix rank %d, want 3", len(m))
+	}
+	if !(m[0][0] < m[1][1] && m[1][1] < m[2][2]) {
+		t.Errorf("diagonal should increase with CPC distance from the switch: %v %v %v", m[0][0], m[1][1], m[2][2])
+	}
+	if m[0][0] < 185 || m[0][0] > 210 {
+		t.Errorf("CPC0-CPC0 latency %.1f outside [185, 210] (paper 196)", m[0][0])
+	}
+	if _, err := SMToSMLatencyMatrix(v100(t), 0, 4); err == nil {
+		t.Error("V100 should not have an SM-to-SM matrix")
+	}
+	if _, err := SMToSMLatencyMatrix(dev, 99, 4); err == nil {
+		t.Error("bad GPC should fail")
+	}
+}
+
+func TestGPCToMPLatencyPartitions(t *testing.T) {
+	// A100, destination MP0 (partition 0): GPCs 0-3 near, 4-7 far.
+	dev := gpu.MustNew(gpu.A100())
+	lat, err := GPCToMPLatency(dev, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		if lat[g] > 260 {
+			t.Errorf("near GPC%d latency %.0f too high", g, lat[g])
+		}
+	}
+	for g := 4; g < 8; g++ {
+		if lat[g] < 350 {
+			t.Errorf("far GPC%d latency %.0f should be ~400", g, lat[g])
+		}
+	}
+}
+
+func TestGPCToMPLatencyH100Uniform(t *testing.T) {
+	dev := gpu.MustNew(gpu.H100())
+	lat, err := GPCToMPLatency(dev, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Much more uniform across the GPCs" than A100's ~190-cycle near/far
+	// split: the residual spread is only the intra-partition column
+	// geometry.
+	if spread := stats.Max(lat) - stats.Min(lat); spread > 60 {
+		t.Errorf("H100 per-GPC hit latency spread %.0f; local caching should keep it well under A100's ~190", spread)
+	}
+	for g, l := range lat {
+		if l > 300 {
+			t.Errorf("H100 GPC%d hit latency %.0f; no GPC should see far-partition hits", g, l)
+		}
+	}
+}
+
+func TestGPCToMPMissPenalty(t *testing.T) {
+	// V100: constant. H100: varies with requester partition.
+	v := v100(t)
+	pen, err := GPCToMPMissPenalty(v, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread := stats.Max(pen) - stats.Min(pen); spread > 10 {
+		t.Errorf("V100 miss penalty spread %.0f, want ~constant", spread)
+	}
+	h := gpu.MustNew(gpu.H100())
+	penH, err := GPCToMPMissPenalty(h, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread := stats.Max(penH) - stats.Min(penH); spread < 100 {
+		t.Errorf("H100 miss penalty spread %.0f, want home-partition dependence", spread)
+	}
+	if _, err := GPCToMPMissPenalty(v, 99, 2); err == nil {
+		t.Error("bad MP should fail")
+	}
+	if _, err := GPCToMPLatency(v, 99, 2); err == nil {
+		t.Error("bad MP should fail")
+	}
+}
+
+func TestSliceBandwidth(t *testing.T) {
+	eng := engine(t, gpu.V100())
+	bw, err := SliceBandwidth(eng, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw < 25 || bw > 40 {
+		t.Errorf("single-SM slice bandwidth %.1f outside [25, 40]", bw)
+	}
+	if _, err := SliceBandwidth(eng, nil, 0); err == nil {
+		t.Error("empty SM set should fail")
+	}
+}
+
+func TestAggregateAndMemoryBandwidth(t *testing.T) {
+	eng := engine(t, gpu.V100())
+	fabric, err := AggregateFabricBandwidth(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := MemoryBandwidth(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fabric/mem < 2 {
+		t.Errorf("fabric %.0f / memory %.0f = %.2f, want > 2 (Observation #7)", fabric, mem, fabric/mem)
+	}
+}
+
+func TestSpeedupTPC(t *testing.T) {
+	eng := engine(t, gpu.V100())
+	dev := eng.Device()
+	s, err := Speedup(eng, dev.SMsOfTPC(0, 0), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1.85 || s > 2.05 {
+		t.Errorf("TPC read speedup %.2f, want ~2", s)
+	}
+	if _, err := Speedup(eng, nil, false); err == nil {
+		t.Error("empty SM set should fail")
+	}
+}
+
+func TestBuildSliceMapProfilerV100(t *testing.T) {
+	dev := v100(t)
+	p := profiler.New(dev)
+	m, err := BuildSliceMapProfiler(dev, p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every address is attributed to its true slice.
+	for s, addrs := range m.Addrs {
+		for _, a := range addrs {
+			if dev.HomeSlice(a) != s {
+				t.Fatalf("address %#x attributed to slice %d, home is %d", a, s, dev.HomeSlice(a))
+			}
+		}
+	}
+	if _, err := m.AddressFor(0); err != nil {
+		t.Errorf("slice 0 should have addresses after 256 lines: %v", err)
+	}
+	if _, err := BuildSliceMapProfiler(dev, p, 0); err == nil {
+		t.Error("zero lines should fail")
+	}
+}
+
+func TestBuildSliceMapProfilerFailsAggregated(t *testing.T) {
+	dev := gpu.MustNew(gpu.A100())
+	p := profiler.New(dev)
+	_, err := BuildSliceMapProfiler(dev, p, 8)
+	if !errors.Is(err, profiler.ErrAggregatedOnly) {
+		t.Errorf("want ErrAggregatedOnly on A100, got %v", err)
+	}
+}
+
+func TestContentionProbeAgreesWithHash(t *testing.T) {
+	eng := engine(t, gpu.A100())
+	dev := eng.Device()
+	cp, err := NewContentionProber(eng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineBytes := uint64(dev.Config().CacheLineBytes)
+	checked := 0
+	for i := uint64(1); i < 40 && checked < 12; i++ {
+		a, b := uint64(0), i*lineBytes
+		same, err := cp.SameSlice(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := dev.ServingSlice(0, a) == dev.ServingSlice(8, b)
+		if same != truth {
+			t.Errorf("contention probe for line %d said %v, hash says %v", i, same, truth)
+		}
+		checked++
+	}
+}
+
+func TestBuildSliceMapByContentionGroups(t *testing.T) {
+	eng := engine(t, gpu.V100())
+	dev := eng.Device()
+	m, classes, err := BuildSliceMapByContention(eng, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes < 2 {
+		t.Fatalf("found %d classes, want several", classes)
+	}
+	// Discovery labels are arbitrary, but grouping must match the hash:
+	// same class <=> same home slice.
+	for c, addrs := range m.Addrs {
+		ref := dev.HomeSlice(addrs[0])
+		for _, a := range addrs {
+			if dev.HomeSlice(a) != ref {
+				t.Fatalf("class %d mixes slices %d and %d", c, ref, dev.HomeSlice(a))
+			}
+		}
+	}
+	if _, _, err := BuildSliceMapByContention(eng, 0); err == nil {
+		t.Error("zero lines should fail")
+	}
+}
+
+func TestNewContentionProberValidation(t *testing.T) {
+	eng := engine(t, gpu.V100())
+	if _, err := NewContentionProber(eng, 0); err == nil {
+		t.Error("zero group should fail")
+	}
+	if _, err := NewContentionProber(eng, 99); err == nil {
+		t.Error("oversized group should fail")
+	}
+}
+
+func TestMPBandwidth(t *testing.T) {
+	eng := engine(t, gpu.V100())
+	bw, err := MPBandwidth(eng, eng.Device().SMsOfGPC(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw < 50 || bw > 400 {
+		t.Errorf("GPC->MP bandwidth %.0f implausible", bw)
+	}
+}
+
+func TestLatencyMatrixDefaultsToAllSMs(t *testing.T) {
+	// On a tiny custom device the full matrix stays cheap.
+	cfg, err := gpu.Custom(gpu.CustomSpec{
+		Name: "tiny", GPCs: 2, TPCsPerGPC: 2, Partitions: 1,
+		L2Slices: 8, MPs: 2, MemBWGBs: 500, L2FabricFactor: 2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LatencyMatrix(dev, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != cfg.SMs() || len(m[0]) != cfg.L2Slices {
+		t.Errorf("matrix %dx%d, want %dx%d", len(m), len(m[0]), cfg.SMs(), cfg.L2Slices)
+	}
+}
+
+func TestSliceMapAddressForErrors(t *testing.T) {
+	m := &SliceMap{Addrs: [][]uint64{{0x100}, nil}}
+	if _, err := m.AddressFor(0); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.AddressFor(1); err == nil {
+		t.Error("empty slice entry should fail")
+	}
+	if _, err := m.AddressFor(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := m.AddressFor(9); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}

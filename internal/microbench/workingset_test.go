@@ -1,0 +1,55 @@
+package microbench
+
+import (
+	"testing"
+
+	"gpunoc/internal/gpu"
+)
+
+func TestWorkingSetSweepCapacityStep(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100()) // 6 MiB L2
+	sizes := []int{1 << 20, 3 << 20, 12 << 20}
+	pts, err := WorkingSetSweep(dev, 0, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inL2a, inL2b, overflow := pts[0], pts[1], pts[2]
+	// Within capacity: timed pass hits, latency near the hit latency.
+	if inL2a.MeanCycles > 250 || inL2b.MeanCycles > 250 {
+		t.Errorf("in-capacity latencies %.0f/%.0f should be L2-hit level", inL2a.MeanCycles, inL2b.MeanCycles)
+	}
+	if d := inL2b.MeanCycles - inL2a.MeanCycles; d > 20 || d < -20 {
+		t.Errorf("in-capacity latency should be flat: %.0f vs %.0f", inL2a.MeanCycles, inL2b.MeanCycles)
+	}
+	// Beyond capacity: LRU thrash pays the DRAM fill.
+	if overflow.MeanCycles < inL2a.MeanCycles+150 {
+		t.Errorf("over-capacity latency %.0f should step up past %.0f", overflow.MeanCycles, inL2a.MeanCycles)
+	}
+	if overflow.L2HitRate > 0.1 {
+		t.Errorf("over-capacity hit rate %.2f should collapse", overflow.L2HitRate)
+	}
+}
+
+func TestWorkingSetSweepValidation(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	if _, err := WorkingSetSweep(dev, 0, nil); err == nil {
+		t.Error("empty sizes should fail")
+	}
+	if _, err := WorkingSetSweep(dev, -1, []int{1024}); err == nil {
+		t.Error("bad SM should fail")
+	}
+	if _, err := WorkingSetSweep(dev, 0, []int{0}); err == nil {
+		t.Error("zero size should fail")
+	}
+}
+
+func TestWorkingSetTinySet(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	pts, err := WorkingSetSweep(dev, 0, []int{64}) // below one line
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].MeanCycles <= 0 {
+		t.Error("tiny set should still measure")
+	}
+}

@@ -1,0 +1,145 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FairnessConfig sets up the Fig. 23 experiment: a Width x Height mesh
+// whose bottom-row nodes are memory controllers, with random many-to-few
+// traffic from every compute node to the MCs under saturation (infinite
+// source backlog).
+type FairnessConfig struct {
+	Mesh MeshConfig
+	// MCs lists the memory-controller node indices. Empty means the
+	// bottom row, matching the paper's "memory controllers on the edges".
+	MCs []int
+	// PacketFlits is the packet size in flits.
+	PacketFlits int
+	// InjectRate is the offered load in packets per cycle per compute
+	// node. The interesting regime is just above saturation, where
+	// arbitration decides who gets the contested links.
+	InjectRate float64
+	// Cycles is the measurement length after warmup.
+	Cycles int
+	// Warmup cycles are simulated but not measured.
+	Warmup int
+	// Seed drives the random destination choice.
+	Seed int64
+}
+
+// FairnessResult reports per-compute-node accepted throughput.
+type FairnessResult struct {
+	// Throughput[i] is accepted packets per cycle for compute node
+	// ComputeNodes[i].
+	Throughput   []float64
+	ComputeNodes []int
+	MCs          []int
+	// MaxMinRatio is max/min over compute-node throughputs, the paper's
+	// unfairness figure of merit (~2.4x under round-robin, ~1 under
+	// age-based arbitration).
+	MaxMinRatio float64
+}
+
+// RunFairness executes the experiment.
+func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
+	if cfg.PacketFlits <= 0 {
+		return nil, fmt.Errorf("noc: fairness packet size %d invalid", cfg.PacketFlits)
+	}
+	if cfg.Cycles <= 0 {
+		return nil, fmt.Errorf("noc: fairness cycles %d invalid", cfg.Cycles)
+	}
+	m, err := NewMesh(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	mcs := cfg.MCs
+	if len(mcs) == 0 {
+		for x := 0; x < cfg.Mesh.Width; x++ {
+			mcs = append(mcs, m.NodeAt(x, cfg.Mesh.Height-1))
+		}
+	}
+	isMC := make(map[int]bool, len(mcs))
+	for _, n := range mcs {
+		if n < 0 || n >= m.Nodes() {
+			return nil, fmt.Errorf("noc: MC node %d out of range", n)
+		}
+		isMC[n] = true
+	}
+	var compute []int
+	for n := 0; n < m.Nodes(); n++ {
+		if !isMC[n] {
+			compute = append(compute, n)
+		}
+	}
+	if len(compute) == 0 {
+		return nil, fmt.Errorf("noc: no compute nodes left")
+	}
+
+	if cfg.InjectRate <= 0 {
+		return nil, fmt.Errorf("noc: fairness injection rate %v invalid", cfg.InjectRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Bernoulli sources at the configured offered load, with a bounded
+	// source queue: a stalled source stops generating, like a core whose
+	// MSHRs are full.
+	topUp := func() {
+		for _, src := range compute {
+			if rng.Float64() >= cfg.InjectRate {
+				continue
+			}
+			if m.PendingInjection(src) > 16*cfg.PacketFlits {
+				continue
+			}
+			dst := mcs[rng.Intn(len(mcs))]
+			if _, err := m.Inject(src, dst, cfg.PacketFlits, nil); err != nil {
+				panic(err) // indices are validated above
+			}
+		}
+	}
+
+	for c := 0; c < cfg.Warmup; c++ {
+		topUp()
+		m.Step()
+	}
+	base := make([]int64, m.Nodes())
+	copy(base, m.AcceptedPackets)
+	for c := 0; c < cfg.Cycles; c++ {
+		topUp()
+		m.Step()
+	}
+
+	res := &FairnessResult{ComputeNodes: compute, MCs: mcs}
+	minT, maxT := math.MaxFloat64, 0.0
+	for _, src := range compute {
+		tp := float64(m.AcceptedPackets[src]-base[src]) / float64(cfg.Cycles)
+		res.Throughput = append(res.Throughput, tp)
+		if tp < minT {
+			minT = tp
+		}
+		if tp > maxT {
+			maxT = tp
+		}
+	}
+	if minT > 0 {
+		res.MaxMinRatio = maxT / minT
+	} else {
+		res.MaxMinRatio = math.Inf(1)
+	}
+	return res, nil
+}
+
+// DefaultFairnessConfig mirrors the paper's footnote-10 setup: a 6x6 mesh,
+// 30 compute nodes, 6 memory controllers on the edge, dimension-ordered
+// routing and the chosen arbitration.
+func DefaultFairnessConfig(arb Arbiter, seed int64) FairnessConfig {
+	return FairnessConfig{
+		Mesh:        MeshConfig{Width: 6, Height: 6, BufferFlits: 8, Arbiter: arb},
+		PacketFlits: 1,
+		InjectRate:  0.25,
+		Warmup:      2000,
+		Cycles:      20000,
+		Seed:        seed,
+	}
+}

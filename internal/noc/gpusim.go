@@ -1,0 +1,225 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GPUSimConfig sets up the Fig. 20/21 study: the many-to-few-to-many GPU
+// traffic pattern over a request mesh and a reply mesh, with memory
+// controllers bridging them. Read requests are small (one flit) while
+// replies carry a cache line (several flits), so the reply network's
+// NoC-MEM interface is the system's narrowest stage when the two meshes
+// have equal channel width - the bottleneck prior work identified and the
+// paper revisits.
+type GPUSimConfig struct {
+	Mesh MeshConfig
+	// MCs lists memory-controller nodes; empty means the bottom row.
+	MCs []int
+	// ReplyFlits is the reply packet size (cache line / channel width).
+	ReplyFlits int
+	// MCServiceCycles is the DRAM service time per request; the memory
+	// channel's peak is one request per MCServiceCycles.
+	MCServiceCycles int
+	// MCQueue is the per-MC pending-request queue depth.
+	MCQueue int
+	// WindowPerCompute caps each compute node's outstanding requests
+	// (its MSHR file).
+	WindowPerCompute int
+	// Cycles and Warmup control the measurement.
+	Cycles, Warmup int
+	// UtilWindow is the bucket size for the utilization-over-time series.
+	UtilWindow int
+	// Seed drives random destination selection.
+	Seed int64
+}
+
+// DefaultGPUSimConfig mirrors the throughput-effective-NoC style baseline:
+// a 6x6 mesh, 6 edge MCs, 1-flit requests, multi-flit replies, and a
+// memory channel able to accept one request per cycle - so the reply-side
+// NoC (1 flit/cycle links) can sustain only a fraction of the channel's
+// peak, reproducing the ~20% average utilization of Fig. 21.
+func DefaultGPUSimConfig(seed int64) GPUSimConfig {
+	return GPUSimConfig{
+		Mesh:             MeshConfig{Width: 6, Height: 6, BufferFlits: 8, Arbiter: RoundRobin},
+		ReplyFlits:       3,
+		MCServiceCycles:  1,
+		MCQueue:          16,
+		WindowPerCompute: 16,
+		Cycles:           20000,
+		Warmup:           2000,
+		UtilWindow:       200,
+		Seed:             seed,
+	}
+}
+
+// GPUSimResult reports the dual-network simulation.
+type GPUSimResult struct {
+	// MemUtilization is the fraction of cycles the memory channels were
+	// actively servicing requests, averaged over MCs.
+	MemUtilization float64
+	// UtilSeries is the per-window mean memory utilization over time -
+	// the fluctuating trace of Fig. 21.
+	UtilSeries []float64
+	// ReplyInterfaceUtilization is the fraction of cycles MCs were
+	// injecting reply flits.
+	ReplyInterfaceUtilization float64
+	// RequestsServed is the total requests completed by the MCs.
+	RequestsServed int64
+}
+
+// mcState bridges a request-mesh sink to a reply-mesh source.
+type mcState struct {
+	node     int
+	queue    []*Packet
+	queueCap int
+	// busyUntil is the cycle the in-flight DRAM access completes.
+	busyUntil int64
+	// pendingReply holds a serviced request whose reply could not yet be
+	// injected (reply-side backpressure stalls the channel).
+	pendingReply *Packet
+	busyCycles   int64
+	served       int64
+}
+
+func (mc *mcState) Accept(p *Packet, lastFlit bool, _ int64) bool {
+	if !lastFlit {
+		return true
+	}
+	if len(mc.queue) >= mc.queueCap {
+		return false
+	}
+	mc.queue = append(mc.queue, p)
+	return true
+}
+
+// RunGPUSim executes the request/reply simulation.
+func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
+	if cfg.ReplyFlits <= 0 || cfg.MCServiceCycles <= 0 || cfg.MCQueue <= 0 || cfg.WindowPerCompute <= 0 {
+		return nil, fmt.Errorf("noc: invalid GPU sim parameters %+v", cfg)
+	}
+	if cfg.Cycles <= 0 || cfg.UtilWindow <= 0 {
+		return nil, fmt.Errorf("noc: invalid GPU sim measurement window")
+	}
+	reqNet, err := NewMesh(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	repNet, err := NewMesh(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	mcs := cfg.MCs
+	if len(mcs) == 0 {
+		for x := 0; x < cfg.Mesh.Width; x++ {
+			mcs = append(mcs, reqNet.NodeAt(x, cfg.Mesh.Height-1))
+		}
+	}
+	mcStates := make(map[int]*mcState, len(mcs))
+	isMC := make(map[int]bool, len(mcs))
+	for _, n := range mcs {
+		if n < 0 || n >= reqNet.Nodes() {
+			return nil, fmt.Errorf("noc: MC node %d out of range", n)
+		}
+		st := &mcState{node: n, queueCap: cfg.MCQueue}
+		mcStates[n] = st
+		isMC[n] = true
+		reqNet.SetSink(n, st)
+	}
+	var compute []int
+	outstanding := map[int]int{}
+	for n := 0; n < reqNet.Nodes(); n++ {
+		if !isMC[n] {
+			compute = append(compute, n)
+		}
+	}
+	// Reply completion decrements the source's outstanding window.
+	for _, n := range compute {
+		node := n
+		repNet.SetSink(node, sinkFunc(func(p *Packet, lastFlit bool, _ int64) bool {
+			if lastFlit {
+				outstanding[node]--
+			}
+			return true
+		}))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &GPUSimResult{}
+	var busyTotal, replyInjectTotal int64
+	windowBusy := int64(0)
+
+	total := cfg.Warmup + cfg.Cycles
+	for c := 0; c < total; c++ {
+		measuring := c >= cfg.Warmup
+		// Compute nodes issue requests up to their window.
+		for _, n := range compute {
+			for outstanding[n] < cfg.WindowPerCompute && reqNet.PendingInjection(n) < 4 {
+				dst := mcs[rng.Intn(len(mcs))]
+				if _, err := reqNet.Inject(n, dst, 1, n); err != nil {
+					return nil, err
+				}
+				outstanding[n]++
+			}
+		}
+		// MCs: finish DRAM accesses, inject replies, start new accesses.
+		cycle := reqNet.Cycle()
+		busyNow := 0
+		for _, st := range mcStates {
+			// Try to flush a reply whose DRAM access completed but whose
+			// injection is blocked by the reply-network interface.
+			if st.pendingReply != nil && cycle >= st.busyUntil {
+				src := st.pendingReply.Payload.(int)
+				if repNet.PendingInjection(st.node) < 2*cfg.ReplyFlits {
+					if _, err := repNet.Inject(st.node, src, cfg.ReplyFlits, nil); err != nil {
+						return nil, err
+					}
+					if measuring {
+						replyInjectTotal++
+					}
+					st.pendingReply = nil
+					st.served++
+				}
+			}
+			busy := cycle < st.busyUntil
+			if !busy && st.pendingReply == nil && len(st.queue) > 0 {
+				// Start servicing the next request.
+				req := st.queue[0]
+				st.queue = st.queue[1:]
+				st.busyUntil = cycle + int64(cfg.MCServiceCycles)
+				st.pendingReply = req
+				busy = true
+			}
+			if busy {
+				busyNow++
+				if measuring {
+					busyTotal++
+					st.busyCycles++
+				}
+			}
+		}
+		if measuring {
+			windowBusy += int64(busyNow)
+			if (c-cfg.Warmup+1)%cfg.UtilWindow == 0 {
+				res.UtilSeries = append(res.UtilSeries,
+					float64(windowBusy)/float64(cfg.UtilWindow*len(mcs)))
+				windowBusy = 0
+			}
+		}
+		reqNet.Step()
+		repNet.Step()
+	}
+
+	for _, st := range mcStates {
+		res.RequestsServed += st.served
+	}
+	denom := float64(cfg.Cycles * len(mcs))
+	res.MemUtilization = float64(busyTotal) / denom
+	res.ReplyInterfaceUtilization = float64(replyInjectTotal) * float64(cfg.ReplyFlits) / denom
+	return res, nil
+}
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func(p *Packet, lastFlit bool, cycle int64) bool
+
+func (f sinkFunc) Accept(p *Packet, lastFlit bool, cycle int64) bool { return f(p, lastFlit, cycle) }

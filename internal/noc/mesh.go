@@ -1,0 +1,417 @@
+// Package noc is a from-scratch flit-level, cycle-driven network-on-chip
+// simulator in the spirit of the tools the paper's Section VI uses for its
+// simulation studies: a 2-D mesh with dimension-ordered (XY) wormhole
+// routing, credit-based flow control, and either round-robin or globally
+// fair age-based output arbitration. On top of the mesh it builds the
+// many-to-few-to-many GPU traffic pattern with a request network, memory
+// controllers, and a reply network, reproducing the reply-interface
+// bottleneck of Fig. 21 and the bandwidth unfairness of Fig. 23.
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arbiter selects among competing packets at a router output.
+type Arbiter int
+
+const (
+	// RoundRobin rotates priority locally per output port; it is cheap
+	// but globally unfair in a multi-hop mesh (Fig. 23a).
+	RoundRobin Arbiter = iota
+	// AgeBased grants the output to the oldest packet, providing global
+	// fairness at the cost of carrying and comparing ages (Fig. 23b).
+	AgeBased
+)
+
+// String names the arbiter.
+func (a Arbiter) String() string {
+	switch a {
+	case RoundRobin:
+		return "round-robin"
+	case AgeBased:
+		return "age-based"
+	}
+	return fmt.Sprintf("arbiter(%d)", int(a))
+}
+
+// MeshConfig configures the simulator.
+type MeshConfig struct {
+	Width, Height int
+	// BufferFlits is the per-input-port FIFO depth.
+	BufferFlits int
+	// Arbiter picks the output arbitration policy.
+	Arbiter Arbiter
+}
+
+// Validate checks the configuration.
+func (c MeshConfig) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("noc: mesh %dx%d invalid", c.Width, c.Height)
+	}
+	if c.BufferFlits <= 0 {
+		return fmt.Errorf("noc: buffer depth %d invalid", c.BufferFlits)
+	}
+	if c.Arbiter != RoundRobin && c.Arbiter != AgeBased {
+		return fmt.Errorf("noc: unknown arbiter %d", int(c.Arbiter))
+	}
+	return nil
+}
+
+// Packet is a multi-flit message.
+type Packet struct {
+	ID        uint64
+	Src, Dst  int
+	Flits     int
+	CreatedAt int64
+	// Payload carries experiment-specific context (e.g. the request a
+	// reply answers).
+	Payload any
+}
+
+// flit is one flow-control unit of a packet in the network.
+type flit struct {
+	pkt  *Packet
+	seq  int // 0-based flit index within the packet
+	tail bool
+}
+
+// Port indices of a router.
+const (
+	portLocal = iota
+	portNorth
+	portEast
+	portSouth
+	portWest
+	numPorts
+)
+
+// Sink consumes flits ejected at a node. Accept returns false to refuse
+// delivery this cycle (modelling a busy endpoint); the flit then stays in
+// the router and backpressure builds, which is exactly the congestion
+// mechanism of Sec. VI-A.
+type Sink interface {
+	Accept(f *Packet, lastFlit bool, cycle int64) bool
+}
+
+// countingSink accepts everything and counts packets; the default.
+type countingSink struct{ packets int64 }
+
+func (s *countingSink) Accept(_ *Packet, lastFlit bool, _ int64) bool {
+	if lastFlit {
+		s.packets++
+	}
+	return true
+}
+
+type fifo struct {
+	q   []flit
+	cap int
+}
+
+func (f *fifo) empty() bool { return len(f.q) == 0 }
+func (f *fifo) full() bool  { return len(f.q) >= f.cap }
+func (f *fifo) head() *flit { return &f.q[0] }
+func (f *fifo) pop() flit   { h := f.q[0]; f.q = f.q[1:]; return h }
+func (f *fifo) push(x flit) { f.q = append(f.q, x) }
+
+type router struct {
+	node int
+	in   [numPorts]fifo
+	// outOwner is the input port currently holding each output via
+	// wormhole allocation, or -1.
+	outOwner [numPorts]int
+	// rr is the round-robin pointer per output.
+	rr [numPorts]int
+}
+
+// Mesh is the simulator instance.
+type Mesh struct {
+	cfg     MeshConfig
+	routers []*router
+	sinks   []Sink
+	// injectQ holds flits awaiting entry into each node's local input.
+	injectQ [][]flit
+	cycle   int64
+	nextID  uint64
+
+	// AcceptedPackets counts packets delivered per source node.
+	AcceptedPackets []int64
+	// AcceptedFlits counts flits delivered per destination node.
+	AcceptedFlits []int64
+
+	// move scratch buffers reused each cycle.
+	moves []move
+}
+
+type move struct {
+	from *fifo
+	to   *fifo // nil means ejection
+	r    *router
+	out  int
+}
+
+// NewMesh builds a mesh simulator.
+func NewMesh(cfg MeshConfig) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Width * cfg.Height
+	m := &Mesh{
+		cfg:             cfg,
+		routers:         make([]*router, n),
+		sinks:           make([]Sink, n),
+		injectQ:         make([][]flit, n),
+		AcceptedPackets: make([]int64, n),
+		AcceptedFlits:   make([]int64, n),
+	}
+	for i := range m.routers {
+		r := &router{node: i}
+		for p := range r.in {
+			r.in[p].cap = cfg.BufferFlits
+		}
+		for p := range r.outOwner {
+			r.outOwner[p] = -1
+		}
+		m.routers[i] = r
+		m.sinks[i] = &countingSink{}
+	}
+	return m, nil
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Cycle returns the current simulation cycle.
+func (m *Mesh) Cycle() int64 { return m.cycle }
+
+// SetSink installs a custom ejection sink at a node.
+func (m *Mesh) SetSink(node int, s Sink) {
+	m.sinks[node] = s
+}
+
+// coord maps a node index to mesh coordinates.
+func (m *Mesh) coord(node int) (x, y int) {
+	return node % m.cfg.Width, node / m.cfg.Width
+}
+
+// NodeAt maps coordinates to a node index.
+func (m *Mesh) NodeAt(x, y int) int { return y*m.cfg.Width + x }
+
+// route returns the output port a packet takes at node toward dst using
+// dimension-ordered (X then Y) routing.
+func (m *Mesh) route(node, dst int) int {
+	x, y := m.coord(node)
+	dx, dy := m.coord(dst)
+	switch {
+	case dx > x:
+		return portEast
+	case dx < x:
+		return portWest
+	case dy > y:
+		return portSouth
+	case dy < y:
+		return portNorth
+	default:
+		return portLocal
+	}
+}
+
+// neighbor returns the node on the other side of an output port and the
+// input port the flit arrives on there.
+func (m *Mesh) neighbor(node, out int) (next int, inPort int, ok bool) {
+	x, y := m.coord(node)
+	switch out {
+	case portNorth:
+		if y == 0 {
+			return 0, 0, false
+		}
+		return m.NodeAt(x, y-1), portSouth, true
+	case portSouth:
+		if y == m.cfg.Height-1 {
+			return 0, 0, false
+		}
+		return m.NodeAt(x, y+1), portNorth, true
+	case portEast:
+		if x == m.cfg.Width-1 {
+			return 0, 0, false
+		}
+		return m.NodeAt(x+1, y), portWest, true
+	case portWest:
+		if x == 0 {
+			return 0, 0, false
+		}
+		return m.NodeAt(x-1, y), portEast, true
+	}
+	return 0, 0, false
+}
+
+// Inject queues a packet for injection at its source node. It returns the
+// packet for convenience.
+func (m *Mesh) Inject(src, dst, flits int, payload any) (*Packet, error) {
+	n := m.Nodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("noc: inject %d->%d outside %d-node mesh", src, dst, n)
+	}
+	if flits <= 0 {
+		return nil, fmt.Errorf("noc: packet needs at least one flit")
+	}
+	m.nextID++
+	p := &Packet{ID: m.nextID, Src: src, Dst: dst, Flits: flits, CreatedAt: m.cycle, Payload: payload}
+	for s := 0; s < flits; s++ {
+		m.injectQ[src] = append(m.injectQ[src], flit{pkt: p, seq: s, tail: s == flits-1})
+	}
+	return p, nil
+}
+
+// PendingInjection returns the number of flits queued for injection at a
+// node (source-queue occupancy).
+func (m *Mesh) PendingInjection(node int) int { return len(m.injectQ[node]) }
+
+// Step advances the simulation by one cycle: output arbitration and flit
+// movement across every router, then source-queue injection.
+func (m *Mesh) Step() {
+	m.moves = m.moves[:0]
+
+	// Phase 1: decide moves using pre-cycle state.
+	for _, r := range m.routers {
+		for out := 0; out < numPorts; out++ {
+			in := m.pickInput(r, out)
+			if in < 0 {
+				continue
+			}
+			f := r.in[in].head()
+			if out == portLocal {
+				// Ejection: ask the sink.
+				if !m.sinks[r.node].Accept(f.pkt, f.tail, m.cycle) {
+					continue
+				}
+				m.commitGrant(r, out, in, f)
+				m.moves = append(m.moves, move{from: &r.in[in], to: nil, r: r, out: out})
+				continue
+			}
+			next, inPort, ok := m.neighbor(r.node, out)
+			if !ok {
+				continue
+			}
+			df := &m.routers[next].in[inPort]
+			if df.full() {
+				continue
+			}
+			m.commitGrant(r, out, in, f)
+			m.moves = append(m.moves, move{from: &r.in[in], to: df, r: r, out: out})
+		}
+	}
+
+	// Phase 2: apply moves (pops before pushes keep capacity sound).
+	type push struct {
+		to *fifo
+		f  flit
+	}
+	pushes := make([]push, 0, len(m.moves))
+	for _, mv := range m.moves {
+		f := mv.from.pop()
+		if mv.to == nil {
+			m.AcceptedFlits[mv.r.node]++
+			if f.tail {
+				m.AcceptedPackets[f.pkt.Src]++
+			}
+		} else {
+			pushes = append(pushes, push{to: mv.to, f: f})
+		}
+		if f.tail {
+			mv.r.outOwner[mv.out] = -1
+		}
+	}
+	for _, p := range pushes {
+		p.to.push(p.f)
+	}
+
+	// Phase 3: source-queue injection into the local input port.
+	for node, q := range m.injectQ {
+		if len(q) == 0 {
+			continue
+		}
+		in := &m.routers[node].in[portLocal]
+		if in.full() {
+			continue
+		}
+		in.push(q[0])
+		m.injectQ[node] = q[1:]
+	}
+	m.cycle++
+}
+
+// commitGrant records wormhole ownership of an output by an input.
+func (m *Mesh) commitGrant(r *router, out, in int, f *flit) {
+	if f.seq == 0 {
+		r.outOwner[out] = in
+	}
+}
+
+// pickInput returns the input port granted output out this cycle, or -1.
+func (m *Mesh) pickInput(r *router, out int) int {
+	// An owned output only accepts the owner's next flit, in order.
+	if owner := r.outOwner[out]; owner >= 0 {
+		if r.in[owner].empty() {
+			return -1
+		}
+		return owner
+	}
+	// Free output: head flits (seq 0) requesting it compete.
+	switch m.cfg.Arbiter {
+	case AgeBased:
+		best, bestAge := -1, int64(math.MaxInt64)
+		for p := 0; p < numPorts; p++ {
+			if r.in[p].empty() {
+				continue
+			}
+			f := r.in[p].head()
+			if f.seq != 0 || m.route(r.node, f.pkt.Dst) != out {
+				continue
+			}
+			if f.pkt.CreatedAt < bestAge {
+				best, bestAge = p, f.pkt.CreatedAt
+			}
+		}
+		return best
+	default: // RoundRobin
+		for i := 1; i <= numPorts; i++ {
+			p := (r.rr[out] + i) % numPorts
+			if r.in[p].empty() {
+				continue
+			}
+			f := r.in[p].head()
+			if f.seq != 0 || m.route(r.node, f.pkt.Dst) != out {
+				continue
+			}
+			r.rr[out] = p
+			return p
+		}
+		return -1
+	}
+}
+
+// Run advances the simulation by n cycles.
+func (m *Mesh) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// Drained reports whether the network and all source queues are empty.
+func (m *Mesh) Drained() bool {
+	for node, q := range m.injectQ {
+		if len(q) > 0 {
+			return false
+		}
+		r := m.routers[node]
+		for p := 0; p < numPorts; p++ {
+			if !r.in[p].empty() {
+				return false
+			}
+		}
+	}
+	return true
+}

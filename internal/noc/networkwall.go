@@ -1,0 +1,97 @@
+package noc
+
+import "fmt"
+
+// SimPoint is one simulation-based prior-work configuration for the
+// Fig. 22 "network wall" analysis: the NoC-MEM interface bandwidth is
+// BW = f_NoC * w * C (NoC clock x channel width x number of MPs), and a
+// point with BW_NoC-MEM < BW_MEM is bottlenecked by its own baseline NoC
+// rather than by memory.
+type SimPoint struct {
+	// Name cites the configuration's origin.
+	Name string
+	// NoCClockGHz is the interconnect clock f_NoC.
+	NoCClockGHz float64
+	// ChannelBytes is the channel width w in bytes per cycle.
+	ChannelBytes float64
+	// MPs is C, the number of memory partitions (NoC-MEM ports).
+	MPs int
+	// MemBWGBs is the configured off-chip memory bandwidth.
+	MemBWGBs float64
+}
+
+// NoCMemBWGBs returns the interface bandwidth f_NoC * w * C in GB/s.
+func (p SimPoint) NoCMemBWGBs() float64 {
+	return p.NoCClockGHz * p.ChannelBytes * float64(p.MPs)
+}
+
+// NetworkWalled reports whether the configuration sits below the paper's
+// sloped line, i.e. the NoC-MEM interface bandwidth cannot even carry the
+// memory bandwidth and creates a "network wall".
+func (p SimPoint) NetworkWalled() bool {
+	return p.NoCMemBWGBs() < p.MemBWGBs
+}
+
+// Validate checks a point's parameters.
+func (p SimPoint) Validate() error {
+	if p.NoCClockGHz <= 0 || p.ChannelBytes <= 0 || p.MPs <= 0 || p.MemBWGBs <= 0 {
+		return fmt.Errorf("noc: invalid sim point %q: %+v", p.Name, p)
+	}
+	return nil
+}
+
+// PriorWorkPoints returns representative configurations of the
+// simulation-based prior work the paper surveys in Fig. 22 ([14], [15],
+// [17], [28]-[32], [58], [59]). Parameters are reconstructed from each
+// work's reported simulator configuration (largely GPGPU-Sim-era
+// baselines); they are approximations that preserve which side of the
+// network wall each configuration falls on.
+func PriorWorkPoints() []SimPoint {
+	return []SimPoint{
+		// Throughput-effective NoC [28]: GTX280-era, 2D mesh, 16B channels.
+		{Name: "throughput-effective [28]", NoCClockGHz: 0.602, ChannelBytes: 16, MPs: 8, MemBWGBs: 141.7},
+		// Cache-conscious wavefront scheduling [14].
+		{Name: "ccws [14]", NoCClockGHz: 0.7, ChannelBytes: 32, MPs: 8, MemBWGBs: 179.2},
+		// Mascar [15]: memory-aware scheduling, Fermi-like baseline.
+		{Name: "mascar [15]", NoCClockGHz: 0.7, ChannelBytes: 16, MPs: 6, MemBWGBs: 177.4},
+		// iPAWS [17].
+		{Name: "ipaws [17]", NoCClockGHz: 0.7, ChannelBytes: 32, MPs: 6, MemBWGBs: 179.2},
+		// Packet pump [29]: reply-network optimized mesh.
+		{Name: "packet-pump [29]", NoCClockGHz: 0.7, ChannelBytes: 16, MPs: 8, MemBWGBs: 179.2},
+		// Bandwidth-efficient on-chip interconnects [30].
+		{Name: "bandwidth-efficient [30]", NoCClockGHz: 0.602, ChannelBytes: 16, MPs: 6, MemBWGBs: 141.7},
+		// Cost-effective on-chip network bandwidth [31].
+		{Name: "cost-effective [31]", NoCClockGHz: 0.602, ChannelBytes: 32, MPs: 6, MemBWGBs: 141.7},
+		// Conflict-free NoC [32].
+		{Name: "conflict-free [32]", NoCClockGHz: 1.0, ChannelBytes: 32, MPs: 8, MemBWGBs: 177.4},
+		// WarpPool [58].
+		{Name: "warppool [58]", NoCClockGHz: 0.7, ChannelBytes: 32, MPs: 8, MemBWGBs: 179.2},
+		// Adaptive cache management [59].
+		{Name: "adaptive-cache [59]", NoCClockGHz: 0.602, ChannelBytes: 16, MPs: 6, MemBWGBs: 179.2},
+	}
+}
+
+// WallReport classifies points against the network wall.
+type WallReport struct {
+	Point  SimPoint
+	NoCMem float64
+	Walled bool
+}
+
+// AnalyzeNetworkWall evaluates each point and returns the per-point
+// classification plus the count of walled configurations.
+func AnalyzeNetworkWall(points []SimPoint) ([]WallReport, int, error) {
+	reports := make([]WallReport, 0, len(points))
+	walled := 0
+	for _, p := range points {
+		if err := p.Validate(); err != nil {
+			return nil, 0, err
+		}
+		r := WallReport{Point: p, NoCMem: p.NoCMemBWGBs(), Walled: p.NetworkWalled()}
+		if r.Walled {
+			walled++
+		}
+		reports = append(reports, r)
+	}
+	return reports, walled, nil
+}

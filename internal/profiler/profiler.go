@@ -1,0 +1,115 @@
+// Package profiler emulates the hardware-counter facilities the paper's
+// methodology depends on: nvprof-style per-L2-slice traffic counters in
+// "non-aggregated" mode (available on V100) and the aggregated-only mode
+// of newer GPUs (A100/H100), where per-slice counters were withdrawn -
+// partly in response to side-channel disclosures (Sec. V-A). When only
+// aggregate counters exist, address-to-slice mapping must fall back to the
+// contention-probe method implemented in package microbench.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gpunoc/internal/gpu"
+)
+
+// ErrAggregatedOnly is returned when per-slice counters are requested from
+// a profiler running in aggregated-only mode.
+var ErrAggregatedOnly = errors.New("profiler: per-slice counters unavailable (aggregated mode only)")
+
+// Profiler counts L2 traffic per slice for a device.
+// It is safe for concurrent use.
+type Profiler struct {
+	dev *gpu.Device
+	// aggregatedOnly hides per-slice detail, as on A100/H100.
+	aggregatedOnly bool
+
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+}
+
+// New builds a profiler for the device. Per-slice ("non-aggregated")
+// counters are exposed only on generations whose tooling supports them:
+// V100 in this model.
+func New(dev *gpu.Device) *Profiler {
+	return &Profiler{
+		dev:            dev,
+		aggregatedOnly: dev.Config().Name != gpu.GenV100,
+		counts:         make([]uint64, dev.Config().L2Slices),
+	}
+}
+
+// NewWithMode builds a profiler with an explicit counter mode, for
+// what-if studies.
+func NewWithMode(dev *gpu.Device, aggregatedOnly bool) *Profiler {
+	p := New(dev)
+	p.aggregatedOnly = aggregatedOnly
+	return p
+}
+
+// AggregatedOnly reports whether per-slice counters are hidden.
+func (p *Profiler) AggregatedOnly() bool { return p.aggregatedOnly }
+
+// RecordAccess counts one L2 access by SM sm to address addr, attributing
+// it to the slice that actually serves it.
+func (p *Profiler) RecordAccess(sm int, addr uint64) {
+	slice := p.dev.ServingSlice(sm, addr)
+	p.mu.Lock()
+	p.counts[slice]++
+	p.total++
+	p.mu.Unlock()
+}
+
+// Total returns the aggregate access count, which every mode exposes.
+func (p *Profiler) Total() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// SliceCounts returns a copy of the per-slice counters, or
+// ErrAggregatedOnly when the mode hides them.
+func (p *Profiler) SliceCounts() ([]uint64, error) {
+	if p.aggregatedOnly {
+		return nil, ErrAggregatedOnly
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint64, len(p.counts))
+	copy(out, p.counts)
+	return out, nil
+}
+
+// HottestSlice returns the slice with the highest count, or an error in
+// aggregated mode or when no accesses were recorded. It is the primitive
+// the paper's V100 methodology uses: access one address repeatedly and ask
+// the profiler which slice's counter moved.
+func (p *Profiler) HottestSlice() (int, error) {
+	counts, err := p.SliceCounts()
+	if err != nil {
+		return 0, err
+	}
+	best, bestCount := -1, uint64(0)
+	for s, c := range counts {
+		if c > bestCount {
+			best, bestCount = s, c
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("profiler: no accesses recorded")
+	}
+	return best, nil
+}
+
+// Reset zeroes all counters.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.counts {
+		p.counts[i] = 0
+	}
+	p.total = 0
+}

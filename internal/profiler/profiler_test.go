@@ -1,0 +1,129 @@
+package profiler
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"gpunoc/internal/gpu"
+)
+
+func TestModeByGeneration(t *testing.T) {
+	if New(gpu.MustNew(gpu.V100())).AggregatedOnly() {
+		t.Error("V100 profiler should expose per-slice counters")
+	}
+	if !New(gpu.MustNew(gpu.A100())).AggregatedOnly() {
+		t.Error("A100 profiler should be aggregated-only")
+	}
+	if !New(gpu.MustNew(gpu.H100())).AggregatedOnly() {
+		t.Error("H100 profiler should be aggregated-only")
+	}
+}
+
+func TestRecordAndSliceCounts(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	p := New(dev)
+	addr := uint64(0x8000)
+	for i := 0; i < 5; i++ {
+		p.RecordAccess(0, addr)
+	}
+	counts, err := p.SliceCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dev.ServingSlice(0, addr)
+	if counts[want] != 5 {
+		t.Errorf("slice %d count = %d, want 5", want, counts[want])
+	}
+	if p.Total() != 5 {
+		t.Errorf("total = %d, want 5", p.Total())
+	}
+	hot, err := p.HottestSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot != want {
+		t.Errorf("hottest = %d, want %d", hot, want)
+	}
+}
+
+func TestAggregatedHidesSlices(t *testing.T) {
+	p := New(gpu.MustNew(gpu.A100()))
+	p.RecordAccess(0, 0x100)
+	if _, err := p.SliceCounts(); !errors.Is(err, ErrAggregatedOnly) {
+		t.Errorf("want ErrAggregatedOnly, got %v", err)
+	}
+	if _, err := p.HottestSlice(); !errors.Is(err, ErrAggregatedOnly) {
+		t.Errorf("want ErrAggregatedOnly, got %v", err)
+	}
+	if p.Total() != 1 {
+		t.Error("aggregate count must still work")
+	}
+}
+
+func TestNewWithModeOverride(t *testing.T) {
+	p := NewWithMode(gpu.MustNew(gpu.A100()), false)
+	if p.AggregatedOnly() {
+		t.Error("override should enable per-slice counters")
+	}
+	p.RecordAccess(0, 0)
+	if _, err := p.SliceCounts(); err != nil {
+		t.Errorf("per-slice counts should work: %v", err)
+	}
+}
+
+func TestHottestSliceEmpty(t *testing.T) {
+	p := New(gpu.MustNew(gpu.V100()))
+	if _, err := p.HottestSlice(); err == nil {
+		t.Error("empty profiler should error")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(gpu.MustNew(gpu.V100()))
+	p.RecordAccess(0, 0x42)
+	p.Reset()
+	if p.Total() != 0 {
+		t.Error("reset should zero totals")
+	}
+	counts, err := p.SliceCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, c := range counts {
+		if c != 0 {
+			t.Errorf("slice %d count %d after reset", s, c)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	p := New(dev)
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p.RecordAccess(w, uint64(i)*128)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.Total() != workers*each {
+		t.Errorf("total = %d, want %d", p.Total(), workers*each)
+	}
+	counts, err := p.SliceCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != workers*each {
+		t.Errorf("per-slice sum = %d, want %d", sum, workers*each)
+	}
+}

@@ -1,0 +1,152 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/stats"
+)
+
+func TestClusterValidation(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	if _, err := ClusterSMsByLatency(dev, nil, 4, 0.9); err == nil {
+		t.Error("empty SM set should fail")
+	}
+	if _, err := ClusterSMsByLatency(dev, []int{0}, 4, 1.5); err == nil {
+		t.Error("bad threshold should fail")
+	}
+}
+
+// Implication #1 on V100: latency-profile correlation clusters recover
+// the physical column groups - GPC pairs {0,1}, {2,3}, {4,5} share
+// columns, so two SMs per GPC cluster into exactly three groups that
+// match the floorplan.
+func TestClusterRecoversV100Columns(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	// Two SMs from each GPC: SMs 0-5 are GPCs 0-5, SMs 6-11 repeat them.
+	sms := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	clusters, err := ClusterSMsByLatency(dev, sms, 8, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("found %d clusters, want 3 column groups: %v", len(clusters), clusters)
+	}
+	// Each cluster must hold exactly the SMs of one column pair.
+	colOf := func(sm int) int { return (sm % 6) / 2 } // GPC pairs share columns
+	for _, cl := range clusters {
+		if len(cl) != 4 {
+			t.Errorf("cluster %v has %d SMs, want 4", cl, len(cl))
+		}
+		for _, sm := range cl {
+			if colOf(sm) != colOf(cl[0]) {
+				t.Errorf("cluster %v mixes columns", cl)
+			}
+		}
+	}
+}
+
+// On A100 every GPC has its own column, so clustering separates GPCs.
+func TestClusterSeparatesA100GPCs(t *testing.T) {
+	dev := gpu.MustNew(gpu.A100())
+	// Two SMs from each of four GPCs spanning both partitions.
+	// The shared far-partition half of each profile inflates cross-GPC
+	// correlation on A100, so separating GPCs needs a tight threshold.
+	sms := []int{0, 8, 2, 10, 4, 12, 6, 14}
+	clusters, err := ClusterSMsByLatency(dev, sms, 16, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 4 {
+		t.Fatalf("found %d clusters, want 4 GPCs: %v", len(clusters), clusters)
+	}
+	for _, cl := range clusters {
+		for _, sm := range cl {
+			if dev.GPCOf(sm) != dev.GPCOf(cl[0]) {
+				t.Errorf("cluster %v mixes GPCs", cl)
+			}
+		}
+	}
+}
+
+// On H100 the clusters split below GPC granularity, exposing the CPC
+// level (Fig. 6c).
+func TestClusterExposesH100CPCs(t *testing.T) {
+	dev := gpu.MustNew(gpu.H100())
+	// Two SMs from each CPC of GPC 0.
+	var sms []int
+	for cpc := 0; cpc < 3; cpc++ {
+		group := dev.SMsOfCPC(0, cpc)
+		sms = append(sms, group[0], group[3])
+	}
+	clusters, err := ClusterSMsByLatency(dev, sms, 8, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("found %d clusters, want the 3 CPCs: %v", len(clusters), clusters)
+	}
+	for _, cl := range clusters {
+		for _, sm := range cl {
+			if dev.CPCOf(sm) != dev.CPCOf(cl[0]) {
+				t.Errorf("cluster %v mixes CPCs", cl)
+			}
+		}
+	}
+}
+
+// Fig. 17(a): warp latency is linear in the number of unique sectors and
+// shifts by a constant across SMs.
+func TestTimingVsUniqueLines(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	curve24, err := TimingVsUniqueLines(dev, 24, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve24) != 32 {
+		t.Fatalf("curve length %d", len(curve24))
+	}
+	xs := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	slope, _, r, err := stats.LinearFit(xs, curve24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.97 {
+		t.Errorf("timing-vs-lines fit r = %.3f, want strongly linear", r)
+	}
+	if slope < 2 || slope > 8 {
+		t.Errorf("slope %.1f cycles/sector outside plausible range", slope)
+	}
+	// Another SM shows (approximately) the same slope, different offset.
+	curve60, err := TimingVsUniqueLines(dev, 60, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope2, _, _, err := stats.LinearFit(xs, curve60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := slope2 / slope; ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("slopes differ across SMs: %.2f vs %.2f", slope, slope2)
+	}
+	off := stats.Mean(curve60) - stats.Mean(curve24)
+	if off == 0 {
+		t.Log("offset identical; acceptable but unusual")
+	}
+}
+
+func TestTimingVsUniqueLinesValidation(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	if _, err := TimingVsUniqueLines(dev, 0, 0, 4); err == nil {
+		t.Error("zero sectors should fail")
+	}
+	if _, err := TimingVsUniqueLines(dev, 0, 64, 4); err == nil {
+		t.Error("more sectors than lanes should fail")
+	}
+	if _, err := TimingVsUniqueLines(dev, 0, 8, 0); err == nil {
+		t.Error("zero repeats should fail")
+	}
+}

@@ -1,0 +1,177 @@
+package sidechannel
+
+import (
+	"fmt"
+
+	"gpunoc/internal/bandwidth"
+	"gpunoc/internal/stats"
+)
+
+// The paper's Sec. V-A notes that once SM and slice placement are known
+// (via the latency correlations of Implication #1), "SM placement can
+// establish a covert channel at the GPU NoC input but if a covert channel
+// is desired at the output of the GPU NoC (or at the input of the L2),
+// the L2 slice placement can potentially be exploited as well." This file
+// implements that output-side channel: a trojan modulates contention on
+// one L2 slice; a spy measuring its own bandwidth to the same slice
+// decodes the bits. It also implements the related access-pattern attack
+// sketched in the paper's closing discussion of [51]: locating which
+// slice a victim is hammering by probing for contention.
+
+// CovertChannel is a one-slice contention channel between a trojan and a
+// spy that share no memory.
+type CovertChannel struct {
+	eng *bandwidth.Engine
+	// Slice is the agreed-upon dead-drop L2 slice.
+	Slice int
+	// TrojanSMs hammer the slice to signal a 1 bit.
+	TrojanSMs []int
+	// SpySMs probe the slice's bandwidth every bit period.
+	SpySMs []int
+	// threshold separates 0 (solo bandwidth) from 1 (contended); set by
+	// Calibrate.
+	threshold float64
+}
+
+// NewCovertChannel builds a channel; trojan and spy SM sets must be
+// disjoint and non-empty.
+func NewCovertChannel(eng *bandwidth.Engine, slice int, trojanSMs, spySMs []int) (*CovertChannel, error) {
+	cfg := eng.Device().Config()
+	if slice < 0 || slice >= cfg.L2Slices {
+		return nil, fmt.Errorf("sidechannel: slice %d out of range", slice)
+	}
+	if len(trojanSMs) == 0 || len(spySMs) == 0 {
+		return nil, fmt.Errorf("sidechannel: covert channel needs trojan and spy SMs")
+	}
+	used := map[int]bool{}
+	for _, sm := range trojanSMs {
+		used[sm] = true
+	}
+	for _, sm := range spySMs {
+		if used[sm] {
+			return nil, fmt.Errorf("sidechannel: SM %d is both trojan and spy", sm)
+		}
+	}
+	return &CovertChannel{eng: eng, Slice: slice, TrojanSMs: trojanSMs, SpySMs: spySMs}, nil
+}
+
+// spyBandwidth measures the spy group's achieved bandwidth on the slice,
+// with or without the trojan hammering it.
+func (c *CovertChannel) spyBandwidth(trojanActive bool) (float64, error) {
+	var flows []bandwidth.Flow
+	for _, sm := range c.SpySMs {
+		flows = append(flows, bandwidth.Flow{SM: sm, Slices: []int{c.Slice}})
+	}
+	nSpy := len(flows)
+	if trojanActive {
+		for _, sm := range c.TrojanSMs {
+			flows = append(flows, bandwidth.Flow{SM: sm, Slices: []int{c.Slice}})
+		}
+	}
+	res, err := c.eng.Solve(flows)
+	if err != nil {
+		return 0, err
+	}
+	var spy float64
+	for i := 0; i < nSpy; i++ {
+		spy += res.PerFlowGBs[i]
+	}
+	return spy, nil
+}
+
+// Calibrate measures the idle and contended spy bandwidths and places the
+// decision threshold between them. It returns the channel's margin (idle
+// minus contended, GB/s); a non-positive margin means the chosen SM/slice
+// combination cannot carry bits.
+func (c *CovertChannel) Calibrate() (float64, error) {
+	idle, err := c.spyBandwidth(false)
+	if err != nil {
+		return 0, err
+	}
+	busy, err := c.spyBandwidth(true)
+	if err != nil {
+		return 0, err
+	}
+	c.threshold = (idle + busy) / 2
+	return idle - busy, nil
+}
+
+// Transmit sends the bits through the channel and returns what the spy
+// decodes: one bandwidth probe per bit, thresholded against the
+// calibration. Calibrate must have been called.
+func (c *CovertChannel) Transmit(bits []bool) ([]bool, error) {
+	if c.threshold == 0 {
+		return nil, fmt.Errorf("sidechannel: covert channel not calibrated")
+	}
+	out := make([]bool, len(bits))
+	for i, bit := range bits {
+		bw, err := c.spyBandwidth(bit)
+		if err != nil {
+			return nil, err
+		}
+		// Contention (low bandwidth) encodes 1.
+		out[i] = bw < c.threshold
+	}
+	return out, nil
+}
+
+// BitErrorRate transmits a pseudo-random pattern of n bits and returns
+// the fraction decoded incorrectly.
+func (c *CovertChannel) BitErrorRate(n int, seed uint64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("sidechannel: need positive bit count")
+	}
+	bits := make([]bool, n)
+	state := seed
+	for i := range bits {
+		state = state*6364136223846793005 + 1442695040888963407
+		bits[i] = state>>63 == 1
+	}
+	got, err := c.Transmit(bits)
+	if err != nil {
+		return 0, err
+	}
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(n), nil
+}
+
+// LocateVictimSlice is the access-pattern attack the paper's discussion
+// of [51] anticipates: a victim is streaming to some secret L2 slice; the
+// attacker probes its own bandwidth to every slice and returns the one
+// where contention (a bandwidth dip) appears. victimFlows describes the
+// victim's (unknown to the attacker) traffic; the attacker only controls
+// probeSMs.
+func LocateVictimSlice(eng *bandwidth.Engine, victimFlows []bandwidth.Flow, probeSMs []int) (int, error) {
+	if len(probeSMs) == 0 {
+		return 0, fmt.Errorf("sidechannel: need probe SMs")
+	}
+	cfg := eng.Device().Config()
+	dips := make([]float64, cfg.L2Slices)
+	for s := 0; s < cfg.L2Slices; s++ {
+		var solo []bandwidth.Flow
+		for _, sm := range probeSMs {
+			solo = append(solo, bandwidth.Flow{SM: sm, Slices: []int{s}})
+		}
+		base, err := eng.Solve(solo)
+		if err != nil {
+			return 0, err
+		}
+		contended, err := eng.Solve(append(append([]bandwidth.Flow{}, solo...), victimFlows...))
+		if err != nil {
+			return 0, err
+		}
+		var probe float64
+		for i := range probeSMs {
+			probe += contended.PerFlowGBs[i]
+		}
+		dips[s] = base.TotalGBs - probe
+	}
+	// The victim's slice shows the largest dip.
+	best := stats.Argsort(dips)
+	return best[len(best)-1], nil
+}

@@ -1,0 +1,135 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"gpunoc/internal/bandwidth"
+	"gpunoc/internal/gpu"
+)
+
+func covertEngine(t *testing.T) *bandwidth.Engine {
+	t.Helper()
+	eng, err := bandwidth.NewEngine(gpu.MustNew(gpu.V100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestNewCovertChannelValidation(t *testing.T) {
+	eng := covertEngine(t)
+	if _, err := NewCovertChannel(eng, 99, []int{0}, []int{1}); err == nil {
+		t.Error("bad slice should fail")
+	}
+	if _, err := NewCovertChannel(eng, 0, nil, []int{1}); err == nil {
+		t.Error("empty trojan should fail")
+	}
+	if _, err := NewCovertChannel(eng, 0, []int{0}, []int{0}); err == nil {
+		t.Error("overlapping SM sets should fail")
+	}
+}
+
+func TestCovertChannelRequiresCalibration(t *testing.T) {
+	eng := covertEngine(t)
+	c, err := NewCovertChannel(eng, 3, []int{0, 6, 12, 18}, []int{1, 7, 13, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transmit([]bool{true}); err == nil {
+		t.Error("uncalibrated transmit should fail")
+	}
+}
+
+// The output-side covert channel of Sec. V-A: with enough trojan SMs to
+// contend the slice, the spy decodes a random message error-free.
+func TestCovertChannelTransfersBits(t *testing.T) {
+	eng := covertEngine(t)
+	// 4 spy SMs saturate the slice alone; 4 trojans halve their share.
+	c, err := NewCovertChannel(eng, 3, []int{0, 6, 12, 18}, []int{1, 7, 13, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	margin, err := c.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin < 10 {
+		t.Fatalf("channel margin %.1f GB/s too small to signal", margin)
+	}
+	ber, err := c.BitErrorRate(64, 0xfeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber != 0 {
+		t.Errorf("bit error rate %.2f, want 0 in the noiseless steady-state model", ber)
+	}
+}
+
+func TestCovertChannelSelectivity(t *testing.T) {
+	// A trojan hammering a DIFFERENT slice must not flip the spy's bits:
+	// the channel is slice-selective, which is what makes it a placement-
+	// dependent covert channel rather than global noise.
+	eng := covertEngine(t)
+	c, err := NewCovertChannel(eng, 3, []int{0, 6, 12, 18}, []int{1, 7, 13, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	// Manually build the "trojan on another slice" scenario.
+	var flows []bandwidth.Flow
+	for _, sm := range c.SpySMs {
+		flows = append(flows, bandwidth.Flow{SM: sm, Slices: []int{c.Slice}})
+	}
+	for _, sm := range c.TrojanSMs {
+		flows = append(flows, bandwidth.Flow{SM: sm, Slices: []int{20}})
+	}
+	res, err := eng.Solve(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spy float64
+	for i := range c.SpySMs {
+		spy += res.PerFlowGBs[i]
+	}
+	if spy < c.threshold {
+		t.Errorf("off-slice trojan dropped spy bandwidth to %.1f (threshold %.1f); channel not selective", spy, c.threshold)
+	}
+}
+
+func TestBitErrorRateValidation(t *testing.T) {
+	eng := covertEngine(t)
+	c, err := NewCovertChannel(eng, 0, []int{0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BitErrorRate(0, 1); err == nil {
+		t.Error("zero bits should fail")
+	}
+}
+
+// The access-pattern attack: the attacker recovers which slice the victim
+// streams to, for every possible victim slice.
+func TestLocateVictimSlice(t *testing.T) {
+	eng := covertEngine(t)
+	dev := eng.Device()
+	probe := []int{1, 7, 13, 19}
+	for _, secret := range []int{0, 5, 17, 31} {
+		victim := []bandwidth.Flow{}
+		for _, sm := range []int{0, 6, 12, 18} {
+			victim = append(victim, bandwidth.Flow{SM: sm, Slices: []int{secret}})
+		}
+		got, err := LocateVictimSlice(eng, victim, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Errorf("victim on slice %d located at %d", secret, got)
+		}
+	}
+	_ = dev
+	if _, err := LocateVictimSlice(eng, nil, nil); err == nil {
+		t.Error("empty probe set should fail")
+	}
+}

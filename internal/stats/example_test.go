@@ -1,0 +1,25 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"gpunoc/internal/stats"
+)
+
+// Pearson correlation is the paper's placement-similarity metric (Eq. 1).
+func ExamplePearson() {
+	smA := []float64{180, 195, 210, 240} // latency profile of one SM
+	smB := []float64{184, 199, 214, 244} // a same-GPC neighbour: shifted copy
+	smC := []float64{240, 210, 195, 180} // an opposite-edge SM: mirrored
+	rAB, _ := stats.Pearson(smA, smB)
+	rAC, _ := stats.Pearson(smA, smC)
+	fmt.Printf("same GPC r=%.2f, opposite edge r=%.2f\n", rAB, rAC)
+	// Output: same GPC r=1.00, opposite edge r=-0.94
+}
+
+// Argsort produces the latency-sorted slice order of Fig. 3.
+func ExampleArgsort() {
+	latencies := []float64{212, 180, 248, 196}
+	fmt.Println(stats.Argsort(latencies))
+	// Output: [1 3 0 2]
+}
