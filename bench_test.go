@@ -164,7 +164,7 @@ func BenchmarkAblationFlatLatency(b *testing.B) {
 		}
 		var xs []float64
 		for s := 0; s < cfg.L2Slices; s++ {
-			xs = append(xs, dev.L2HitLatencyMean(24, s))
+			xs = append(xs, float64(dev.L2HitLatencyMean(24, s)))
 		}
 		sum := stats.Summarize(xs)
 		return sum.Max - sum.Min
@@ -209,7 +209,7 @@ func BenchmarkAblationLittlesLaw(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return 1 - far.TotalGBs/near.TotalGBs
+		return 1 - float64(far.TotalGBs)/float64(near.TotalGBs)
 	}
 	var calibrated, deepMLP float64
 	b.ResetTimer()

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# ci.sh — the full verification gate, runnable locally or in CI.
+# Mirrors .github/workflows/ci.yml exactly; keep the two in sync.
+set -eu
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> noclint (determinism, unitsafety, orderedoutput, registry, errcheck)"
+go run ./cmd/noclint ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> all checks passed"

@@ -96,16 +96,11 @@ func main() {
 	}
 
 	if *report != "" {
-		f, err := os.Create(*report)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
 		cfgs := []gpu.Config{cfg}
 		if *runAll {
 			cfgs = gpu.AllConfigs()
 		}
-		if err := core.WriteReport(f, cfgs, *quick, time.Now()); err != nil {
+		if err := writeReportFile(*report, cfgs, *quick); err != nil {
 			fatal(err)
 		}
 		fmt.Println("report written to", *report)
@@ -173,6 +168,21 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeReportFile writes the full Markdown report to path, surfacing
+// Close errors (a buffered flush can fail even when every write
+// succeeded).
+func writeReportFile(path string, cfgs []gpu.Config, quick bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteReport(f, cfgs, quick, time.Now()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

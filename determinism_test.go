@@ -1,0 +1,91 @@
+package gpunoc_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"gpunoc"
+	"gpunoc/internal/core"
+	"gpunoc/internal/gpu"
+)
+
+// TestNoCSimulationDeterminism runs the flit-level mesh sweep and the
+// GPU request/reply simulation twice with identical seeds and demands
+// identical results: the simulator must not leak map iteration order or
+// global randomness into its outputs (the invariant noclint's
+// determinism and orderedoutput analyzers guard statically).
+func TestNoCSimulationDeterminism(t *testing.T) {
+	llCfg := gpunoc.LoadLatencyConfig{
+		Mesh:        gpunoc.MeshConfig{Width: 4, Height: 4, BufferFlits: 4, Arbiter: gpunoc.RoundRobin},
+		PacketFlits: 2, Rates: []float64{0.05, 0.15, 0.3}, Cycles: 2000, Warmup: 200, Seed: 7,
+	}
+	first, err := gpunoc.RunLoadLatency(llCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := gpunoc.RunLoadLatency(llCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("load-latency sweep differs between identical runs:\n%v\n%v", first, second)
+	}
+
+	gsCfg := gpunoc.GPUSimConfig{
+		Mesh:             gpunoc.MeshConfig{Width: 4, Height: 4, BufferFlits: 4, Arbiter: gpunoc.RoundRobin},
+		ReplyFlits:       2,
+		WindowPerCompute: 4,
+		MCServiceCycles:  4,
+		MCQueue:          8,
+		Cycles:           2000,
+		Warmup:           200,
+		UtilWindow:       200,
+		Seed:             7,
+	}
+	g1, err := gpunoc.RunGPUSim(gsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gpunoc.RunGPUSim(gsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1, g2) {
+		t.Errorf("GPU sim differs between identical runs:\n%+v\n%+v", g1, g2)
+	}
+}
+
+// TestReportDeterminism renders the full experiment report twice with a
+// pinned timestamp and demands byte-identical output. Any map-ordered
+// section or unseeded sampling anywhere in the experiment registry
+// would show up here as a diff.
+func TestReportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment twice")
+	}
+	fixed := time.Date(2024, 11, 2, 12, 0, 0, 0, time.UTC)
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := core.WriteReport(&buf, []gpu.Config{gpu.V100()}, true, fixed); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		a, b := string(first), string(second)
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("report differs at byte %d:\n...%q\nvs\n...%q", i, a[lo:i+40], b[lo:i+40])
+			}
+		}
+		t.Fatalf("report lengths differ: %d vs %d", len(first), len(second))
+	}
+}

@@ -63,5 +63,5 @@ func main() {
 	fmt.Printf("  aggregate L2 fabric %.0f GB/s = %.2fx the %.0f GB/s achievable memory bandwidth\n",
 		fabric, fabric/mem, mem)
 	fmt.Printf("  (%.0f%% of the %.0f GB/s peak; paper: 85-90%%)\n",
-		100*mem/cfg.MemBWGBs, cfg.MemBWGBs)
+		100*mem/float64(cfg.MemBWGBs), float64(cfg.MemBWGBs))
 }

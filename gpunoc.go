@@ -34,6 +34,20 @@ import (
 	"gpunoc/internal/microbench"
 	"gpunoc/internal/noc"
 	"gpunoc/internal/sidechannel"
+	"gpunoc/internal/units"
+)
+
+// Unit-safe quantity types used throughout the public API. Latencies are
+// Cycles, bandwidths GBps, and sizes Bytes; convert to bare float64 only
+// at measurement boundaries with an explicit float64(...) conversion (the
+// noclint unitsafety analyzer flags unit-to-unit conversions).
+type (
+	// Cycles is a latency or duration in core clock cycles.
+	Cycles = units.Cycles
+	// GBps is a bandwidth in gigabytes per second.
+	GBps = units.GBps
+	// Bytes is a data size in bytes.
+	Bytes = units.Bytes
 )
 
 // Device is a modelled GPU (see internal/gpu.Device for full docs).

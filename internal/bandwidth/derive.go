@@ -18,10 +18,10 @@ func DeriveProfile(cfg gpu.Config) (Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return Profile{}, err
 	}
-	fabric := cfg.L2FabricFactor * cfg.MemBWGBs
-	trunk := fabric / float64(cfg.GPCs)
-	slice := 1.25 * fabric / float64(cfg.L2Slices)
-	smRead := 1.1 * trunk / float64(cfg.SMsPerGPC())
+	fabric := cfg.MemBWGBs.Scale(cfg.L2FabricFactor)
+	trunk := fabric.Scale(1 / float64(cfg.GPCs))
+	slice := fabric.Scale(1.25 / float64(cfg.L2Slices))
+	smRead := trunk.Scale(1.1 / float64(cfg.SMsPerGPC()))
 	p := Profile{
 		MLPLines: 96, MLPWriteLines: 72, MLPPerSliceLines: 48,
 		SMReadGBs:  smRead,
@@ -30,9 +30,9 @@ func DeriveProfile(cfg gpu.Config) (Profile, error) {
 		SlotBusGBs: 0.52 * trunk, SlotBusWriteGBs: 0.36 * trunk,
 		GPCTrunkGBs:   trunk,
 		GPCMPPortGBs:  trunk / 4,
-		MPPortGBs:     1.1 * slice * float64(cfg.SlicesPerMP()),
+		MPPortGBs:     slice.Scale(1.1 * float64(cfg.SlicesPerMP())),
 		SliceGBs:      slice,
-		MemChannelGBs: 0.88 * cfg.MemBWGBs / float64(cfg.MPs),
+		MemChannelGBs: cfg.MemBWGBs.Scale(0.88 / float64(cfg.MPs)),
 		MemEfficiency: 0.88,
 	}
 	if cfg.CPCsPerGPC > 0 {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/units"
 )
 
 // Flow is one traffic class in the closed queueing network: a single SM
@@ -26,11 +27,10 @@ type Flow struct {
 
 // Result reports the solved steady state.
 type Result struct {
-	// PerFlowGBs is the achieved bandwidth of each flow in GB/s, in input
-	// order.
-	PerFlowGBs []float64
+	// PerFlowGBs is the achieved bandwidth of each flow, in input order.
+	PerFlowGBs []units.GBps
 	// TotalGBs is the sum over flows.
-	TotalGBs float64
+	TotalGBs units.GBps
 	// Utilization maps station names to utilization in [0, 1].
 	Utilization map[string]float64
 }
@@ -115,11 +115,11 @@ func (e *Engine) Solve(flows []Flow) (Result, error) {
 
 	lineBytes := float64(cfg.CacheLineBytes)
 	res := Result{
-		PerFlowGBs:  make([]float64, len(flows)),
+		PerFlowGBs:  make([]units.GBps, len(flows)),
 		Utilization: make(map[string]float64, len(m.stations)),
 	}
 	for f := range flows {
-		gbs := x[f] * lineBytes / 1e9
+		gbs := units.GBps(x[f] * lineBytes / 1e9)
 		res.PerFlowGBs[f] = gbs
 		res.TotalGBs += gbs
 	}
@@ -149,13 +149,13 @@ func (e *Engine) build(flows []Flow) *netModel {
 
 	m := &netModel{}
 	index := map[string]int{}
-	stationOf := func(name string, capGBs float64) int {
+	stationOf := func(name string, capGBs units.GBps) int {
 		if i, ok := index[name]; ok {
 			return i
 		}
 		i := len(m.stations)
 		index[name] = i
-		m.stations = append(m.stations, station{name: name, perLine: lineBytes / (capGBs * 1e9)})
+		m.stations = append(m.stations, station{name: name, perLine: lineBytes / (float64(capGBs) * 1e9)})
 		return i
 	}
 
@@ -182,11 +182,11 @@ func (e *Engine) build(flows []Flow) *netModel {
 		}
 
 		var dms []demand
-		add := func(name string, capGBs, visit float64) {
+		add := func(name string, capGBs units.GBps, visit float64) {
 			if capGBs <= 0 || visit <= 0 {
 				return
 			}
-			dms = append(dms, demand{station: stationOf(name, capGBs), d: visit * lineBytes / (capGBs * 1e9)})
+			dms = append(dms, demand{station: stationOf(name, capGBs), d: visit * lineBytes / (float64(capGBs) * 1e9)})
 		}
 
 		// Source-side hierarchy, visited by every line.
@@ -202,7 +202,7 @@ func (e *Engine) build(flows []Flow) *netModel {
 		// Partition-local caching (H100) redirects each slice to its local
 		// serving slice, exactly as the latency model does.
 		perSlice := 1 / float64(len(f.Slices))
-		var think float64 // cycles, averaged over destinations
+		var think units.Cycles // averaged over destinations
 		crossFrac := 0.0
 		mpVisits := map[int]float64{}
 		sliceVisits := map[int]float64{}
@@ -218,27 +218,41 @@ func (e *Engine) build(flows []Flow) *netModel {
 				think += e.dev.L2MissPenaltyMean(f.SM, e.dev.MPOfSlice(serving))
 			}
 		}
-		think *= perSlice
+		think = think.Scale(perSlice)
 
 		if crossFrac > 0 && prof.PartitionLinkGBs > 0 {
 			add(fmt.Sprintf("xpart%d", srcPart), prof.PartitionLinkGBs, crossFrac)
 		}
-		for mp, v := range mpVisits {
+		// Station creation order must not depend on map iteration order:
+		// it fixes the float-summation order inside the MVA solver, and
+		// with it the low-order bits of every reported bandwidth.
+		for _, mp := range sortedIntKeys(mpVisits) {
+			v := mpVisits[mp]
 			add(fmt.Sprintf("gpcmp%d.%d", gpc, mp), prof.GPCMPPortGBs, v)
 			add(fmt.Sprintf("mpport%d", mp), prof.MPPortGBs, v)
 			if f.DRAM {
 				add(fmt.Sprintf("mem%d", mp), prof.MemChannelGBs, v)
 			}
 		}
-		for s, v := range sliceVisits {
-			add(fmt.Sprintf("slice%d", s), prof.SliceGBs, v)
+		for _, s := range sortedIntKeys(sliceVisits) {
+			add(fmt.Sprintf("slice%d", s), prof.SliceGBs, sliceVisits[s])
 		}
 
 		m.classes = append(m.classes, dms)
 		m.population = append(m.population, float64(pop))
-		m.think = append(m.think, think/clockHz)
+		m.think = append(m.think, float64(think)/clockHz)
 	}
 	return m
+}
+
+// sortedIntKeys returns m's keys in ascending order.
+func sortedIntKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // servingSlice resolves which physical slice serves flow traffic to the

@@ -94,7 +94,7 @@ func TestV100SingleSMSliceBandwidth(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			xs = append(xs, r.TotalGBs)
+			xs = append(xs, float64(r.TotalGBs))
 		}
 	}
 	sum := stats.Summarize(xs)
@@ -123,7 +123,7 @@ func TestV100GPCToSliceBandwidth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		xs = append(xs, r.TotalGBs)
+		xs = append(xs, float64(r.TotalGBs))
 	}
 	sum := stats.Summarize(xs)
 	if sum.Mean < 78 || sum.Mean > 90 {
@@ -148,7 +148,7 @@ func TestV100SliceSaturationPoint(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.TotalGBs
+		return float64(r.TotalGBs)
 	}
 	sat := bw(8)
 	if bw(2) > 0.85*sat {
@@ -188,7 +188,7 @@ func TestAggregateFabricVsMemory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		factor := r.TotalGBs / cfg.MemBWGBs
+		factor := float64(r.TotalGBs / cfg.MemBWGBs)
 		w := want[cfg.Name]
 		if factor < w[0] || factor > w[1] {
 			t.Errorf("%s aggregate fabric %.0f GB/s = %.2fx mem, want [%.1f, %.1f]",
@@ -202,7 +202,7 @@ func TestAggregateFabricVsMemory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		frac := rm.TotalGBs / cfg.MemBWGBs
+		frac := float64(rm.TotalGBs / cfg.MemBWGBs)
 		if frac < 0.80 || frac > 0.95 {
 			t.Errorf("%s memory utilization %.0f%% of peak, want 80-95%% (paper 85-90%%)", cfg.Name, frac*100)
 		}
@@ -223,7 +223,7 @@ func TestInputSpeedups(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return r.TotalGBs
+			return float64(r.TotalGBs)
 		}
 		speedup := func(sms []int, write bool) float64 {
 			single := solve([]Flow{{SM: sms[0], Slices: slices, Write: write}})
@@ -286,7 +286,7 @@ func TestH100CPCSpeedup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return all.TotalGBs / single.TotalGBs
+		return float64(all.TotalGBs / single.TotalGBs)
 	}
 	if rs := run(false); rs < 5.3 {
 		t.Errorf("H100 CPC read speedup %.2f; paper finds no read impact (~6)", rs)
@@ -306,7 +306,7 @@ func TestA100NearFarBandwidth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.TotalGBs
+		return float64(r.TotalGBs)
 	}
 	smLeft := 0  // GPC0, partition 0
 	smRight := 4 // GPC4, partition 1
@@ -336,7 +336,7 @@ func TestSliceBandwidthModality(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			xs = append(xs, r.TotalGBs)
+			xs = append(xs, float64(r.TotalGBs))
 		}
 		return xs
 	}
@@ -371,7 +371,7 @@ func TestA100SaturationCurve(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.TotalGBs
+		return float64(r.TotalGBs)
 	}
 	nearSat := curve(0, 14)
 	if n8 := curve(0, 8); n8 < 0.95*nearSat {
@@ -408,7 +408,7 @@ func TestV100PlacementEffects(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.TotalGBs
+		return float64(r.TotalGBs)
 	}
 	contigMP := dev.SlicesOfMP(0)  // 4 slices, one MP
 	distribMP := []int{0, 1, 2, 3} // 4 slices, four MPs
@@ -435,7 +435,7 @@ func TestV100PlacementEffects(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.TotalGBs
+		return float64(r.TotalGBs)
 	}
 	cb, db := run(contigSM[:nsm]), run(distribSM)
 	if loss := 1 - cb/db; loss < 0.35 {
@@ -460,7 +460,7 @@ func TestV100PlacementEffects(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.TotalGBs
+		return float64(r.TotalGBs)
 	}
 	contig14 := dev.SMsOfGPC(0)
 	gain := run14(contig14, mps(4))/run14(contig14, mps(1)) - 1
@@ -560,7 +560,7 @@ func TestSolvePropertyCapacityMonotone(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r.TotalGBs
+		return float64(r.TotalGBs)
 	}
 	baseline := solve(base)
 	bumps := []func(*Profile){
@@ -602,8 +602,8 @@ func TestSolvePropertyContentionMonotone(t *testing.T) {
 		}
 		var sumBefore, sumAfter float64
 		for i := 0; i < n; i++ {
-			sumBefore += before.PerFlowGBs[i]
-			sumAfter += after.PerFlowGBs[i]
+			sumBefore += float64(before.PerFlowGBs[i])
+			sumAfter += float64(after.PerFlowGBs[i])
 		}
 		if sumAfter > sumBefore*1.01 {
 			t.Errorf("trial %d: adding contention raised existing flows %.2f -> %.2f", trial, sumBefore, sumAfter)
@@ -672,7 +672,7 @@ func TestDerivedProfileForCustomGeneration(t *testing.T) {
 	if fabric.TotalGBs < 1.5*mem.TotalGBs {
 		t.Errorf("derived fabric %.0f should well exceed memory %.0f", fabric.TotalGBs, mem.TotalGBs)
 	}
-	if frac := mem.TotalGBs / cfg.MemBWGBs; frac < 0.7 || frac > 0.95 {
+	if frac := float64(mem.TotalGBs / cfg.MemBWGBs); frac < 0.7 || frac > 0.95 {
 		t.Errorf("derived memory utilization %.0f%% outside plausible band", frac*100)
 	}
 	// Per-slice uniformity still holds on the derived profile.
@@ -684,7 +684,7 @@ func TestDerivedProfileForCustomGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := a.TotalGBs / b.TotalGBs; r < 0.8 || r > 1.25 {
+	if r := float64(a.TotalGBs / b.TotalGBs); r < 0.8 || r > 1.25 {
 		t.Errorf("near-slice bandwidths should be comparable: %.1f vs %.1f", a.TotalGBs, b.TotalGBs)
 	}
 }

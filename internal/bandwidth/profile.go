@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/units"
 )
 
 // Profile holds the capacity calibration of one GPU generation. All
@@ -41,48 +42,48 @@ type Profile struct {
 
 	// SMReadGBs / SMWriteGBs cap a single SM's reply (read) and request
 	// (write) port.
-	SMReadGBs, SMWriteGBs float64
+	SMReadGBs, SMWriteGBs units.GBps
 
 	// TPCReadGBs / TPCWriteGBs cap the shared TPC port. The ratio
 	// TPCWriteGBs / single-SM write bandwidth is the paper's TPC write
 	// speedup (1.09x on V100, 2x on A100/H100).
-	TPCReadGBs, TPCWriteGBs float64
+	TPCReadGBs, TPCWriteGBs units.GBps
 
 	// CPCReadGBs / CPCWriteGBs cap the H100 CPC stage (0 disables it).
 	// The paper finds CPC reads unconstrained but CPC writes limited to a
 	// ~4.6x speedup out of the 6 SMs.
-	CPCReadGBs, CPCWriteGBs float64
+	CPCReadGBs, CPCWriteGBs units.GBps
 
 	// SlotBusGBs caps one of the GPC's per-SM-slot ingress buses. SMs of
 	// even local index share slot bus 0, odd share bus 1. This realizes
 	// the paper's observation that some GPC speedup is provided "in space
 	// (additional connectivity) and not entirely in time": one SM per TPC
 	// rides a single bus, while using both SMs of each TPC engages both.
-	SlotBusGBs      float64
-	SlotBusWriteGBs float64
+	SlotBusGBs      units.GBps
+	SlotBusWriteGBs units.GBps
 
 	// GPCTrunkGBs caps a GPC's total traffic into the NoC.
-	GPCTrunkGBs float64
+	GPCTrunkGBs units.GBps
 
 	// GPCMPPortGBs caps the spatial port from one GPC toward one MP
 	// (Fig. 15c: going from 1 to 4 destination MPs engages more ports).
-	GPCMPPortGBs float64
+	GPCMPPortGBs units.GBps
 
 	// PartitionLinkGBs caps one direction of the inter-partition
 	// interconnect (0 means no partitions / unlimited).
-	PartitionLinkGBs float64
+	PartitionLinkGBs units.GBps
 
 	// MPPortGBs caps the NoC-to-MP input port (the L2 input speedup stage;
 	// near-ideal per Fig. 15a).
-	MPPortGBs float64
+	MPPortGBs units.GBps
 
 	// SliceGBs caps one L2 slice's data port.
-	SliceGBs float64
+	SliceGBs units.GBps
 
 	// MemChannelGBs caps one memory partition's DRAM channel, already
 	// derated by achievable DRAM efficiency (the paper measures 85-90% of
 	// peak; see MemEfficiency).
-	MemChannelGBs float64
+	MemChannelGBs units.GBps
 
 	// MemEfficiency is the achievable fraction of peak DRAM bandwidth.
 	MemEfficiency float64
@@ -95,7 +96,7 @@ func (p Profile) Validate() error {
 	}
 	for _, c := range []struct {
 		name string
-		v    float64
+		v    units.GBps
 	}{
 		{"SMRead", p.SMReadGBs}, {"SMWrite", p.SMWriteGBs},
 		{"TPCRead", p.TPCReadGBs}, {"TPCWrite", p.TPCWriteGBs},

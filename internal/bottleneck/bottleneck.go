@@ -15,13 +15,14 @@ import (
 
 	"gpunoc/internal/bandwidth"
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/units"
 )
 
 // Stage is one stage of a series system: a resource with an aggregate
 // capacity in GB/s.
 type Stage struct {
 	Name        string
-	CapacityGBs float64
+	CapacityGBs units.GBps
 }
 
 // Validate checks a stage.
@@ -38,7 +39,7 @@ func (s Stage) Validate() error {
 // SeriesThroughput returns the maximum sustainable throughput of stages
 // in series and the index of the binding stage (ties resolve to the
 // earliest stage).
-func SeriesThroughput(stages []Stage) (float64, int, error) {
+func SeriesThroughput(stages []Stage) (units.GBps, int, error) {
 	if len(stages) == 0 {
 		return 0, 0, fmt.Errorf("bottleneck: empty system")
 	}
@@ -64,7 +65,7 @@ type Report struct {
 // Analyze evaluates the stages under an offered load (GB/s of demand that
 // every stage must carry) and flags the binding stage. Offered loads
 // above the series throughput saturate the binding stage at 1.0.
-func Analyze(stages []Stage, offeredGBs float64) ([]Report, error) {
+func Analyze(stages []Stage, offeredGBs units.GBps) ([]Report, error) {
 	if offeredGBs <= 0 {
 		return nil, fmt.Errorf("bottleneck: non-positive offered load")
 	}
@@ -78,7 +79,7 @@ func Analyze(stages []Stage, offeredGBs float64) ([]Report, error) {
 	}
 	out := make([]Report, len(stages))
 	for i, s := range stages {
-		u := carried / s.CapacityGBs
+		u := float64(carried) / float64(s.CapacityGBs)
 		if u > 1 {
 			u = 1
 		}
@@ -100,13 +101,13 @@ func Hierarchy(cfg gpu.Config, prof bandwidth.Profile) ([]Stage, error) {
 	}
 	nTPC := cfg.GPCs * cfg.TPCsPerGPC
 	stages := []Stage{
-		{Name: "SM reply ports", CapacityGBs: float64(cfg.SMs()) * prof.SMReadGBs},
-		{Name: "TPC ports", CapacityGBs: float64(nTPC) * prof.TPCReadGBs},
-		{Name: "GPC slot buses", CapacityGBs: float64(cfg.GPCs) * 2 * prof.SlotBusGBs},
-		{Name: "GPC trunks", CapacityGBs: float64(cfg.GPCs) * prof.GPCTrunkGBs},
-		{Name: "NoC-MEM interface", CapacityGBs: float64(cfg.MPs) * prof.MPPortGBs},
-		{Name: "L2 slice ports", CapacityGBs: float64(cfg.L2Slices) * prof.SliceGBs},
-		{Name: "DRAM channels", CapacityGBs: float64(cfg.MPs) * prof.MemChannelGBs},
+		{Name: "SM reply ports", CapacityGBs: prof.SMReadGBs.Scale(float64(cfg.SMs()))},
+		{Name: "TPC ports", CapacityGBs: prof.TPCReadGBs.Scale(float64(nTPC))},
+		{Name: "GPC slot buses", CapacityGBs: prof.SlotBusGBs.Scale(2 * float64(cfg.GPCs))},
+		{Name: "GPC trunks", CapacityGBs: prof.GPCTrunkGBs.Scale(float64(cfg.GPCs))},
+		{Name: "NoC-MEM interface", CapacityGBs: prof.MPPortGBs.Scale(float64(cfg.MPs))},
+		{Name: "L2 slice ports", CapacityGBs: prof.SliceGBs.Scale(float64(cfg.L2Slices))},
+		{Name: "DRAM channels", CapacityGBs: prof.MemChannelGBs.Scale(float64(cfg.MPs))},
 	}
 	return stages, nil
 }
@@ -132,7 +133,7 @@ func NetworkWallFactor(stages []Stage) (float64, error) {
 	}
 	for _, s := range stages {
 		if s.Name == "DRAM channels" {
-			return s.CapacityGBs / max, nil
+			return float64(s.CapacityGBs) / float64(max), nil
 		}
 	}
 	return 0, fmt.Errorf("bottleneck: no DRAM stage in hierarchy")

@@ -7,6 +7,7 @@ import (
 
 	"gpunoc/internal/bandwidth"
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/units"
 )
 
 func TestSeriesThroughput(t *testing.T) {
@@ -57,7 +58,7 @@ func TestSeriesPropertyMin(t *testing.T) {
 		min := 1e18
 		for i := range stages {
 			c := 1 + rng.Float64()*1000
-			stages[i] = Stage{Name: "s", CapacityGBs: c}
+			stages[i] = Stage{Name: "s", CapacityGBs: units.GBps(c)}
 			if c < min {
 				min = c
 			}
@@ -66,7 +67,7 @@ func TestSeriesPropertyMin(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return max == min && stages[binding].CapacityGBs == min
+		return float64(max) == min && float64(stages[binding].CapacityGBs) == min
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

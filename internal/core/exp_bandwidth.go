@@ -73,8 +73,8 @@ func runFig9(ctx *Context) ([]Artifact, error) {
 		Name:    fmt.Sprintf("Fig 9(a) (%s): aggregate bandwidth", cfg.Name),
 		Columns: []string{"metric", "GB/s", "vs peak mem"},
 		Rows: [][]string{
-			{"L2 fabric (all hits)", fmt.Sprintf("%.0f", fabric), fmt.Sprintf("%.2fx", fabric/cfg.MemBWGBs)},
-			{"memory (all misses)", fmt.Sprintf("%.0f", mem), fmt.Sprintf("%.0f%%", 100*mem/cfg.MemBWGBs)},
+			{"L2 fabric (all hits)", fmt.Sprintf("%.0f", fabric), fmt.Sprintf("%.2fx", fabric/float64(cfg.MemBWGBs))},
+			{"memory (all misses)", fmt.Sprintf("%.0f", mem), fmt.Sprintf("%.0f%%", 100*mem/float64(cfg.MemBWGBs))},
 		},
 	}
 
@@ -280,7 +280,7 @@ func runFig15(ctx *Context) ([]Artifact, error) {
 		if err != nil {
 			return 0, err
 		}
-		return r.TotalGBs, nil
+		return float64(r.TotalGBs), nil
 	}
 	allSMs := make([]int, cfg.SMs())
 	for i := range allSMs {

@@ -222,7 +222,7 @@ func CheckObservations() ([]ObservationResult, error) {
 func orderOf(dev *gpu.Device, sm int, slices []int) []int {
 	lat := make([]float64, len(slices))
 	for i, s := range slices {
-		lat[i] = dev.L2HitLatencyMean(sm, s)
+		lat[i] = float64(dev.L2HitLatencyMean(sm, s))
 	}
 	return stats.Argsort(lat)
 }

@@ -17,8 +17,9 @@ func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) erro
 	if len(cfgs) == 0 {
 		return fmt.Errorf("core: no generations to report on")
 	}
-	fmt.Fprintf(w, "# gpunoc characterization report\n\n")
-	fmt.Fprintf(w, "Generated %s; quick mode: %v.\n\n", now.Format("2006-01-02 15:04 MST"), quick)
+	pw := &printer{w: w}
+	pw.printf("# gpunoc characterization report\n\n")
+	pw.printf("Generated %s; quick mode: %v.\n\n", now.Format("2006-01-02 15:04 MST"), quick)
 
 	ctxs := map[gpu.Generation]*Context{}
 	for _, cfg := range cfgs {
@@ -30,8 +31,8 @@ func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) erro
 	}
 
 	for _, e := range All() {
-		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
-		fmt.Fprintf(w, "*Paper:* %s\n\n", e.Paper)
+		pw.printf("## %s — %s\n\n", e.ID, e.Title)
+		pw.printf("*Paper:* %s\n\n", e.Paper)
 		ran := false
 		for _, cfg := range cfgs {
 			if !e.SupportsGPU(cfg.Name) {
@@ -39,21 +40,21 @@ func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) erro
 			}
 			arts, err := e.Run(ctxs[cfg.Name])
 			if err != nil {
-				fmt.Fprintf(w, "`%s` on %s: not applicable (%v)\n\n", e.ID, cfg.Name, err)
+				pw.printf("`%s` on %s: not applicable (%v)\n\n", e.ID, cfg.Name, err)
 				continue
 			}
 			ran = true
 			for _, a := range arts {
-				fmt.Fprintf(w, "```\n%s```\n\n", ensureTrailingNewline(a.Render()))
+				pw.printf("```\n%s```\n\n", ensureTrailingNewline(a.Render()))
 			}
 		}
 		if !ran {
-			fmt.Fprintf(w, "_No selected generation supports this experiment._\n\n")
+			pw.printf("_No selected generation supports this experiment._\n\n")
 		}
 	}
 
 	// Close with the observation checklist.
-	fmt.Fprintf(w, "## Observations #1–#12\n\n")
+	pw.printf("## Observations #1–#12\n\n")
 	obs, err := CheckObservations()
 	if err != nil {
 		return err
@@ -63,9 +64,25 @@ func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) erro
 		if !o.Pass {
 			mark = " "
 		}
-		fmt.Fprintf(w, "- [%s] #%d %s — %s\n", mark, o.ID, o.Text, o.Detail)
+		pw.printf("- [%s] #%d %s — %s\n", mark, o.ID, o.Text, o.Detail)
 	}
-	return nil
+	return pw.err
+}
+
+// printer wraps an io.Writer and remembers the first write error, so
+// report generation can print unconditionally and report failure once.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+// printf formats into the underlying writer unless a write already
+// failed; later calls become no-ops so the first error is preserved.
+func (p *printer) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
 }
 
 func ensureTrailingNewline(s string) string {

@@ -13,7 +13,10 @@ package floorplan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"gpunoc/internal/units"
 )
 
 // Point is a 2-D die coordinate in grid units.
@@ -24,8 +27,8 @@ type Point struct {
 // Manhattan returns the Manhattan (L1) distance between a and b. On-chip
 // wires are routed rectilinearly, so L1 distance is the natural wire-length
 // proxy.
-func Manhattan(a, b Point) float64 {
-	return abs(a.X-b.X) + abs(a.Y-b.Y)
+func Manhattan(a, b Point) units.GridUnits {
+	return units.GridUnits(abs(a.X-b.X) + abs(a.Y-b.Y))
 }
 
 func abs(x float64) float64 {
@@ -244,7 +247,7 @@ func H100Spec() Spec {
 // GPCDistanceToMP returns the Manhattan distance from GPC g (or, when the
 // plan has CPCs and cpc >= 0, from CPC cpc of GPC g) to memory partition m,
 // ignoring hub routing. Pass cpc = -1 to use the GPC centroid.
-func (p *Plan) GPCDistanceToMP(g, cpc, m int) float64 {
+func (p *Plan) GPCDistanceToMP(g, cpc, m int) units.GridUnits {
 	src := p.GPCPos[g]
 	if cpc >= 0 && len(p.CPCPos) > 0 {
 		src = p.CPCPos[g][cpc]
@@ -254,7 +257,7 @@ func (p *Plan) GPCDistanceToMP(g, cpc, m int) float64 {
 
 // HubDistanceToMP returns the distance from GPU partition part's hub to
 // memory partition m.
-func (p *Plan) HubDistanceToMP(part, m int) float64 {
+func (p *Plan) HubDistanceToMP(part, m int) units.GridUnits {
 	return Manhattan(p.HubPos[part], p.MPPos[m])
 }
 
@@ -306,10 +309,6 @@ func sortedKeys(m map[float64]string) []float64 {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Float64s(keys)
 	return keys
 }

@@ -18,7 +18,7 @@ func TestManhattan(t *testing.T) {
 		{Point{5, 2}, Point{1, 2}, 4},
 	}
 	for _, c := range cases {
-		if got := Manhattan(c.a, c.b); got != c.want {
+		if got := Manhattan(c.a, c.b); float64(got) != c.want {
 			t.Errorf("Manhattan(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
@@ -192,7 +192,7 @@ func TestGPCDistanceToMPMonotoneInColumns(t *testing.T) {
 				hi = d
 			}
 		}
-		return hi - lo
+		return float64(hi - lo)
 	}
 	if spread(2) >= spread(0) {
 		t.Errorf("center GPC spread %v should be < edge GPC spread %v", spread(2), spread(0))

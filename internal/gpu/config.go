@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"gpunoc/internal/floorplan"
+	"gpunoc/internal/units"
 )
 
 // Generation identifies a modelled GPU generation.
@@ -31,51 +32,51 @@ const (
 type Calibration struct {
 	// BaseRTT is the placement-independent round-trip component: SM LSU
 	// pipeline, L2 tag+data access, and fixed NoC serialization.
-	BaseRTT float64
+	BaseRTT units.Cycles
 
 	// WireRTT is the round-trip wire+router delay per floorplan grid unit.
-	WireRTT float64
+	WireRTT units.CyclesPerGU
 
 	// SliceSpread is the within-MP latency spread: the extra cycles of the
 	// farthest slice of an MP relative to its nearest (slices sit at fixed
 	// offsets from the MP's NoC port). This component is common to all
 	// SMs, which is why the latency-sorted slice order inside an MP is
 	// identical from every SM (Fig. 3 / Observation #3).
-	SliceSpread float64
+	SliceSpread units.Cycles
 
 	// MPExtraMax bounds the per-MP pseudo-random port overhead in cycles.
-	MPExtraMax float64
+	MPExtraMax units.Cycles
 
 	// SMOffsetTPCStep and SMOffsetOddStep place the SM inside its GPC:
 	// each TPC index adds TPCStep cycles and the second SM of a TPC adds
 	// OddStep. A pure per-SM constant, so it shifts but never reorders a
 	// latency profile (Fig. 5).
-	SMOffsetTPCStep float64
-	SMOffsetOddStep float64
+	SMOffsetTPCStep units.Cycles
+	SMOffsetOddStep units.Cycles
 
 	// NoiseSigma is the per-measurement gaussian noise (clock jitter,
 	// replay, arbitration) in cycles.
-	NoiseSigma float64
+	NoiseSigma units.Cycles
 
 	// CrossPenaltyRTT is the extra round-trip cost of crossing the GPU
 	// partition interconnect for an L2 access (A100; H100 L2 hits never
 	// cross because of partition-local caching).
-	CrossPenaltyRTT float64
+	CrossPenaltyRTT units.Cycles
 
 	// DRAMPenalty is the additional latency of an L2 miss serviced by the
 	// local memory controller.
-	DRAMPenalty float64
+	DRAMPenalty units.Cycles
 
 	// HomeCrossPenalty is the extra miss latency when the line's home DRAM
 	// partition differs from the caching partition (H100 only; this is
 	// what makes the H100 miss penalty non-constant in Fig. 8f).
-	HomeCrossPenalty float64
+	HomeCrossPenalty units.Cycles
 
 	// DSMBase and DSMWire calibrate the H100 SM-to-SM (distributed shared
 	// memory) network: latency = DSMBase + DSMWire * (hops via the GPC's
-	// SM-to-SM switch) (Fig. 7b).
-	DSMBase float64
-	DSMWire float64
+	// SM-to-SM switch) (Fig. 7b). DSMWire is cycles per hop.
+	DSMBase units.Cycles
+	DSMWire units.Cycles
 }
 
 // Config describes one GPU generation: its compute and memory hierarchy
@@ -92,13 +93,13 @@ type Config struct {
 	MPs        int
 
 	// Table-I-style headline numbers.
-	MemBWGBs       float64 // peak off-chip memory bandwidth, GB/s
-	L2FabricFactor float64 // aggregate L2 fabric BW as a multiple of MemBWGBs
+	MemBWGBs       units.GBps // peak off-chip memory bandwidth
+	L2FabricFactor float64    // aggregate L2 fabric BW as a multiple of MemBWGBs
 	L2SizeMiB      int
 	CoreClockMHz   int
 
 	// CacheLineBytes is the L2 line size used by the address hash.
-	CacheLineBytes int
+	CacheLineBytes units.Bytes
 
 	// LocalL2Caching enables H100-style partition-local caching: L2 hits
 	// are always served by a slice in the requester's partition.

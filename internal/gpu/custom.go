@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpunoc/internal/floorplan"
+	"gpunoc/internal/units"
 )
 
 // CustomSpec describes a speculative GPU generation for design-space
@@ -20,7 +21,7 @@ type CustomSpec struct {
 	L2Slices   int
 	MPs        int
 	// MemBWGBs is the off-chip peak bandwidth.
-	MemBWGBs float64
+	MemBWGBs units.GBps
 	// L2FabricFactor provisions the on-chip fabric as a multiple of
 	// MemBWGBs (real GPUs: 2.4-3.5, Observation #7).
 	L2FabricFactor float64
@@ -46,7 +47,7 @@ func Custom(spec CustomSpec) (Config, error) {
 	}
 	l2MiB := spec.L2SizeMiB
 	if l2MiB == 0 {
-		l2MiB = int(spec.MemBWGBs/1000*8) + 4
+		l2MiB = int(float64(spec.MemBWGBs)/1000*8) + 4
 	}
 	rows := 1
 	gpcPerPart := 0

@@ -39,7 +39,7 @@ func TestCustomBuildsValidDevice(t *testing.T) {
 	var near, far []float64
 	for _, sm := range dev.SMsOfGPC(0) {
 		for s := 0; s < cfg.L2Slices; s += 3 {
-			l := dev.L2HitLatencyMean(sm, s)
+			l := float64(dev.L2HitLatencyMean(sm, s))
 			if dev.PartitionOfSlice(s) == dev.PartitionOfSM(sm) {
 				near = append(near, l)
 			} else {

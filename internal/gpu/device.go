@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpunoc/internal/floorplan"
+	"gpunoc/internal/units"
 )
 
 // Device is an instantiated GPU model: a validated configuration plus its
@@ -157,17 +158,17 @@ func (d *Device) SlicesOfPartition(p int) []int {
 
 // smOffset is the fixed intra-GPC wiring offset of SM sm in cycles: a pure
 // per-SM constant, so it shifts a latency profile without reordering it.
-func (d *Device) smOffset(sm int) float64 {
+func (d *Device) smOffset(sm int) units.Cycles {
 	local := d.LocalIndex(sm)
 	tpc := local / d.cfg.SMsPerTPC
 	odd := local % d.cfg.SMsPerTPC
-	return float64(tpc)*d.cfg.Cal.SMOffsetTPCStep + float64(odd)*d.cfg.Cal.SMOffsetOddStep
+	return d.cfg.Cal.SMOffsetTPCStep.Scale(float64(tpc)) + d.cfg.Cal.SMOffsetOddStep.Scale(float64(odd))
 }
 
 // sliceExtra is the fixed offset of slice s from its MP's NoC port. It is
 // common to every SM, which forces the identical within-MP latency
 // ordering the paper observes from all SMs (Fig. 3, Observation #3).
-func (d *Device) sliceExtra(s int) float64 {
+func (d *Device) sliceExtra(s int) units.Cycles {
 	per := d.cfg.SlicesPerMP()
 	if per <= 1 {
 		return 0
@@ -175,19 +176,19 @@ func (d *Device) sliceExtra(s int) float64 {
 	// Slices are placed at pseudo-random but fixed offsets within the MP
 	// so the latency-sorted order is nontrivial yet universal.
 	h := mix(d.cfg.Seed, 0x51, uint64(s))
-	return unitFloat(h) * d.cfg.Cal.SliceSpread
+	return d.cfg.Cal.SliceSpread.Scale(unitFloat(h))
 }
 
 // mpExtra is the fixed port overhead of memory partition mp.
-func (d *Device) mpExtra(mp int) float64 {
+func (d *Device) mpExtra(mp int) units.Cycles {
 	h := mix(d.cfg.Seed, 0x3b, uint64(mp))
-	return unitFloat(h) * d.cfg.Cal.MPExtraMax
+	return d.cfg.Cal.MPExtraMax.Scale(unitFloat(h))
 }
 
 // noise returns the measurement noise for one (sm, slice, iter) sample.
-func (d *Device) noise(sm, slice int, iter uint64) float64 {
+func (d *Device) noise(sm, slice int, iter uint64) units.Cycles {
 	h := mix(d.cfg.Seed, uint64(sm)<<20|uint64(slice), iter)
-	return gaussian(h) * d.cfg.Cal.NoiseSigma
+	return d.cfg.Cal.NoiseSigma.Scale(gaussian(h))
 }
 
 // effectiveHitSlice maps the addressed slice to the slice that actually
@@ -214,14 +215,14 @@ func (d *Device) effectiveHitSlice(sm, slice int) int {
 // L2HitLatencyMean returns the noise-free round-trip latency in cycles of
 // an L1-bypassing load from SM sm that hits in L2 slice slice. This is the
 // quantity Algorithm 1 of the paper estimates by averaging timed loads.
-func (d *Device) L2HitLatencyMean(sm, slice int) float64 {
+func (d *Device) L2HitLatencyMean(sm, slice int) units.Cycles {
 	slice = d.effectiveHitSlice(sm, slice)
 	gpc := d.GPCOf(sm)
 	mp := d.MPOfSlice(slice)
 	cal := d.cfg.Cal
 
 	lat := cal.BaseRTT + d.smOffset(sm) + d.sliceExtra(slice) + d.mpExtra(mp)
-	lat += cal.WireRTT * d.plan.GPCDistanceToMP(gpc, d.CPCOf(sm), mp)
+	lat += cal.WireRTT.Times(d.plan.GPCDistanceToMP(gpc, d.CPCOf(sm), mp))
 	if d.plan.CrossesPartition(gpc, mp) {
 		lat += cal.CrossPenaltyRTT
 	}
@@ -230,7 +231,7 @@ func (d *Device) L2HitLatencyMean(sm, slice int) float64 {
 
 // L2HitLatency returns one noisy latency sample, deterministic in
 // (device seed, sm, slice, iter).
-func (d *Device) L2HitLatency(sm, slice int, iter uint64) float64 {
+func (d *Device) L2HitLatency(sm, slice int, iter uint64) units.Cycles {
 	return d.L2HitLatencyMean(sm, slice) + d.noise(sm, slice, iter)
 }
 
@@ -239,7 +240,7 @@ func (d *Device) L2HitLatency(sm, slice int, iter uint64) float64 {
 // V100/A100 the penalty is constant (the MC is colocated with the slice);
 // on H100 a line cached in the requester's partition but homed in DRAM of
 // the other partition pays HomeCrossPenalty (Fig. 8f).
-func (d *Device) L2MissPenaltyMean(sm, homeMP int) float64 {
+func (d *Device) L2MissPenaltyMean(sm, homeMP int) units.Cycles {
 	pen := d.cfg.Cal.DRAMPenalty
 	if d.cfg.LocalL2Caching && d.plan.MPPartition[homeMP] != d.PartitionOfSM(sm) {
 		pen += d.cfg.Cal.HomeCrossPenalty
@@ -248,7 +249,7 @@ func (d *Device) L2MissPenaltyMean(sm, homeMP int) float64 {
 }
 
 // L2MissPenalty returns one noisy miss-penalty sample.
-func (d *Device) L2MissPenalty(sm, homeMP int, iter uint64) float64 {
+func (d *Device) L2MissPenalty(sm, homeMP int, iter uint64) units.Cycles {
 	return d.L2MissPenaltyMean(sm, homeMP) + d.noise(sm, homeMP+d.cfg.L2Slices, iter)
 }
 
@@ -257,7 +258,7 @@ func (d *Device) L2MissPenalty(sm, homeMP int, iter uint64) float64 {
 // SM-to-SM network (H100 only; both SMs must be in the same GPC). The
 // latency depends on the CPC-to-CPC distance through the GPC's SM-to-SM
 // switch, which sits next to CPC0 (Fig. 7).
-func (d *Device) SMToSMLatencyMean(src, dst int) (float64, error) {
+func (d *Device) SMToSMLatencyMean(src, dst int) (units.Cycles, error) {
 	if d.cfg.CPCsPerGPC == 0 {
 		return 0, fmt.Errorf("gpu: %s has no SM-to-SM network", d.cfg.Name)
 	}
@@ -267,11 +268,11 @@ func (d *Device) SMToSMLatencyMean(src, dst int) (float64, error) {
 	}
 	cal := d.cfg.Cal
 	hops := float64(d.CPCOf(src)) + float64(d.CPCOf(dst))
-	return cal.DSMBase + cal.DSMWire*hops, nil
+	return cal.DSMBase + cal.DSMWire.Scale(hops), nil
 }
 
 // SMToSMLatency returns one noisy SM-to-SM latency sample.
-func (d *Device) SMToSMLatency(src, dst int, iter uint64) (float64, error) {
+func (d *Device) SMToSMLatency(src, dst int, iter uint64) (units.Cycles, error) {
 	mean, err := d.SMToSMLatencyMean(src, dst)
 	if err != nil {
 		return 0, err

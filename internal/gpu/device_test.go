@@ -162,7 +162,7 @@ func TestV100LatencyCalibration(t *testing.T) {
 	var all []float64
 	for sm := 0; sm < cfg.SMs(); sm++ {
 		for s := 0; s < cfg.L2Slices; s++ {
-			all = append(all, d.L2HitLatencyMean(sm, s))
+			all = append(all, float64(d.L2HitLatencyMean(sm, s)))
 		}
 	}
 	sum := stats.Summarize(all)
@@ -192,7 +192,7 @@ func TestV100PerGPCVariation(t *testing.T) {
 		var xs []float64
 		for _, sm := range d.SMsOfGPC(g) {
 			for s := 0; s < cfg.L2Slices; s++ {
-				xs = append(xs, d.L2HitLatencyMean(sm, s))
+				xs = append(xs, float64(d.L2HitLatencyMean(sm, s)))
 			}
 		}
 		sum := stats.Summarize(xs)
@@ -233,7 +233,7 @@ func TestSliceOrderUniversal(t *testing.T) {
 func sliceOrder(d *Device, sm int, slices []int) []int {
 	lat := make([]float64, len(slices))
 	for i, s := range slices {
-		lat[i] = d.L2HitLatencyMean(sm, s)
+		lat[i] = float64(d.L2HitLatencyMean(sm, s))
 	}
 	return stats.Argsort(lat)
 }
@@ -246,9 +246,9 @@ func TestSameGPCConstantShift(t *testing.T) {
 	sms := d.SMsOfGPC(4)
 	base := sms[0]
 	for _, sm := range sms[1:] {
-		diff0 := d.L2HitLatencyMean(sm, 0) - d.L2HitLatencyMean(base, 0)
+		diff0 := float64(d.L2HitLatencyMean(sm, 0) - d.L2HitLatencyMean(base, 0))
 		for s := 1; s < cfg.L2Slices; s++ {
-			diff := d.L2HitLatencyMean(sm, s) - d.L2HitLatencyMean(base, s)
+			diff := float64(d.L2HitLatencyMean(sm, s) - d.L2HitLatencyMean(base, s))
 			if !almostEqual(diff, diff0, 1e-9) {
 				t.Fatalf("SM%d vs SM%d: shift %.3f at slice %d != %.3f at slice 0", sm, base, diff, s, diff0)
 			}
@@ -264,7 +264,7 @@ func TestV100PearsonStructure(t *testing.T) {
 	profile := func(sm int) []float64 {
 		xs := make([]float64, cfg.L2Slices)
 		for s := range xs {
-			xs[s] = d.L2HitLatencyMean(sm, s)
+			xs[s] = float64(d.L2HitLatencyMean(sm, s))
 		}
 		return xs
 	}
@@ -293,7 +293,7 @@ func TestA100PartitionLatency(t *testing.T) {
 	var near, far []float64
 	for _, sm := range a.SMsOfGPC(0) { // partition 0
 		for s := 0; s < cfg.L2Slices; s++ {
-			l := a.L2HitLatencyMean(sm, s)
+			l := float64(a.L2HitLatencyMean(sm, s))
 			if a.PartitionOfSlice(s) == 0 {
 				near = append(near, l)
 			} else {
@@ -324,7 +324,7 @@ func TestH100LocalCachingUniformHits(t *testing.T) {
 		var xs []float64
 		for _, sm := range h.SMsOfGPC(g) {
 			for s := 0; s < cfg.L2Slices; s++ {
-				xs = append(xs, h.L2HitLatencyMean(sm, s))
+				xs = append(xs, float64(h.L2HitLatencyMean(sm, s)))
 			}
 		}
 		means[g] = stats.Mean(xs)
@@ -387,7 +387,7 @@ func TestH100SMToSMLatency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return m
+		return float64(m)
 	}
 	l00 := lat(0, 0)
 	l22 := lat(2, 2)
@@ -435,11 +435,11 @@ func TestLatencyDeterministic(t *testing.T) {
 
 func TestNoiseAveragesOut(t *testing.T) {
 	d := v100()
-	mean := d.L2HitLatencyMean(10, 5)
+	mean := float64(d.L2HitLatencyMean(10, 5))
 	var sum float64
 	const n = 4000
 	for i := uint64(0); i < n; i++ {
-		sum += d.L2HitLatency(10, 5, i)
+		sum += float64(d.L2HitLatency(10, 5, i))
 	}
 	got := sum / n
 	if diff := got - mean; diff > 0.5 || diff < -0.5 {
@@ -456,8 +456,8 @@ func TestSeedChangesNoiseNotStructure(t *testing.T) {
 	// slice extras differ: the per-GPC mean spread stays small.
 	var a, b []float64
 	for s := 0; s < cfg.L2Slices; s++ {
-		a = append(a, ref.L2HitLatencyMean(0, s))
-		b = append(b, d.L2HitLatencyMean(0, s))
+		a = append(a, float64(ref.L2HitLatencyMean(0, s)))
+		b = append(b, float64(d.L2HitLatencyMean(0, s)))
 	}
 	if stats.Mean(a) == stats.Mean(b) {
 		t.Log("means equal by coincidence; acceptable")

@@ -221,7 +221,7 @@ func (w *Warp) LoadCG(addrs []uint64) int {
 			lat += dev.L2MissPenalty(w.sm, dev.HomeMP(last), w.iter)
 		}
 	}
-	w.now += lat + w.m.opts.IssueGapCycles*float64(n-1)
+	w.now += float64(lat) + w.m.opts.IssueGapCycles*float64(n-1)
 	return n
 }
 
@@ -247,7 +247,7 @@ func (w *Warp) StoreCG(addrs []uint64) int {
 			w.m.l2[s].Access(sector)
 		}
 	}
-	w.now += lat + w.m.opts.IssueGapCycles*float64(n-1)
+	w.now += float64(lat) + w.m.opts.IssueGapCycles*float64(n-1)
 	return n
 }
 
@@ -265,7 +265,7 @@ func (w *Warp) LoadCGMiss(addrs []uint64) int {
 	w.iter++
 	lat := dev.L2HitLatency(w.sm, slice, w.iter^w.m.launchCount<<32)
 	lat += dev.L2MissPenalty(w.sm, dev.HomeMP(last), w.iter)
-	w.now += lat + w.m.opts.IssueGapCycles*float64(n-1)
+	w.now += float64(lat) + w.m.opts.IssueGapCycles*float64(n-1)
 	return n
 }
 
@@ -278,8 +278,8 @@ func (w *Warp) LoadRemoteShared(dstSM int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	w.now += lat
-	return lat, nil
+	w.now += float64(lat)
+	return float64(lat), nil
 }
 
 // Result reports one kernel launch.
@@ -367,7 +367,7 @@ func (m *Machine) gridSyncCost(placement []int) float64 {
 			continue
 		}
 		seen[sm] = true
-		if lat := m.dev.L2HitLatencyMean(sm, m.opts.SyncSlice); lat > worst {
+		if lat := float64(m.dev.L2HitLatencyMean(sm, m.opts.SyncSlice)); lat > worst {
 			worst = lat
 		}
 	}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer flags nondeterminism sources that would make
+// simulation results irreproducible: calls to math/rand package-level
+// functions (which draw from the process-global, unseeded source instead
+// of a seeded *rand.Rand threaded through the model), and wall-clock
+// reads (time.Now, time.Since) inside internal packages. Command
+// packages (cmd/...) may read the clock for report timestamps; the model
+// itself must not.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "flag unseeded math/rand use and wall-clock reads inside the model",
+		Run:  runDeterminism,
+	}
+}
+
+// randConstructors are the math/rand package-level names that build or
+// feed an explicit source rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+}
+
+func runDeterminism(p *Package) []Diagnostic {
+	internal := strings.Contains(p.ImportPath+"/", "/internal/")
+	inCmd := strings.Contains(p.ImportPath+"/", "/cmd/")
+	var diags []Diagnostic
+	p.walkFiles(func(file *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath := p.packagePathOf(file, sel)
+		switch pkgPath {
+		case "math/rand":
+			if !randConstructors[sel.Sel.Name] {
+				diags = append(diags, p.diag(call.Pos(), "determinism",
+					"rand.%s draws from the process-global source; route randomness through a seeded *rand.Rand",
+					sel.Sel.Name))
+			}
+		case "time":
+			if clockFuncs[sel.Sel.Name] && internal && !inCmd {
+				diags = append(diags, p.diag(call.Pos(), "determinism",
+					"time.%s reads the wall clock inside the model; pass timestamps in from the caller",
+					sel.Sel.Name))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// packagePathOf resolves the package a selector's qualifier refers to,
+// returning "" when it is not a package reference. Type information is
+// used when available, falling back to matching the file's imports so
+// the analyzer still works on fixtures that do not type-check.
+func (p *Package) packagePathOf(file *ast.File, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return ""
+	}
+	// Fallback: an unresolved identifier matching an import's name.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}

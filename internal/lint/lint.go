@@ -1,0 +1,177 @@
+// Package lint is a domain-aware static-analysis suite enforcing the
+// simulator's cross-cutting invariants: determinism (no unseeded
+// randomness or wall-clock reads in the model), unit safety (no
+// laundering between Cycles/GBps/Bytes), ordered output (no report or
+// API output driven by map iteration order), registry completeness
+// (every experiment registered and documented), and error hygiene (no
+// silently dropped errors).
+//
+// The suite is built purely on the standard library (go/ast, go/parser,
+// go/token, go/types); cmd/noclint is the CLI front end. Findings can be
+// suppressed with a
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// comment on the offending line or the line directly above it; the
+// reason is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file position.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the canonical file:line: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a loaded package and
+// returns its findings (suppressions are applied by the caller).
+type Analyzer struct {
+	// Name is the identifier used in output and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		UnitSafetyAnalyzer(),
+		OrderedOutputAnalyzer(),
+		RegistryAnalyzer(),
+		ErrCheckAnalyzer(),
+	}
+}
+
+// Check runs every analyzer over the package and returns the surviving
+// (unsuppressed) findings sorted by position.
+func Check(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		diags = append(diags, a.Run(p)...)
+	}
+	diags = FilterSuppressed(p, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column and analyzer so
+// output is stable across runs.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// diag builds a Diagnostic for a position within the package.
+func (p *Package) diag(pos token.Pos, analyzer, format string, args ...interface{}) Diagnostic {
+	position := p.Fset.Position(pos)
+	return Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+// FilterSuppressed drops diagnostics covered by //lint:ignore comments.
+// A directive covers findings on its own line and on the line directly
+// below it (the comment-above-statement idiom). Directives without a
+// reason are themselves reported so suppressions stay auditable.
+func FilterSuppressed(p *Package, diags []Diagnostic) []Diagnostic {
+	var sups []suppression
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 3 {
+					diags = append(diags, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(fields[1], ",") {
+					names[n] = true
+				}
+				sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: names})
+			}
+		}
+	}
+	if len(sups) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if d.File == s.file && (d.Line == s.line || d.Line == s.line+1) &&
+				(s.analyzers[d.Analyzer] || s.analyzers["*"]) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// walkFiles applies fn to every node of every file in the package.
+func (p *Package) walkFiles(fn func(file *ast.File, n ast.Node) bool) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return fn(file, n)
+		})
+	}
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader caches type-checked stdlib packages across fixture loads
+// (source-importing fmt and friends once instead of per test).
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, modPath, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader = NewLoader(root, modPath)
+	})
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return loader
+}
+
+func loadFixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	p, err := fixtureLoader(t).Load(filepath.Join("testdata", "src", rel))
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	return p
+}
+
+// analyzerByName fetches one analyzer from the suite.
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer %q", name)
+	return nil
+}
+
+// render formats diagnostics with base file names for golden
+// comparison.
+func render(diags []Diagnostic) string {
+	SortDiagnostics(diags)
+	var b strings.Builder
+	for _, d := range diags {
+		d.File = filepath.Base(d.File)
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestAnalyzerGoldens proves every analyzer fires on its bad fixture
+// with exactly the expected diagnostics, and stays silent on the clean
+// fixture.
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, name := range []string{"determinism", "unitsafety", "orderedoutput", "registry", "errcheck"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := analyzerByName(t, name)
+
+			got := render(a.Run(loadFixture(t, filepath.Join(name, "bad"))))
+			wantBytes, err := os.ReadFile(filepath.Join("testdata", "src", name, "expected.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := string(wantBytes); got != want {
+				t.Errorf("bad fixture diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			if diags := a.Run(loadFixture(t, filepath.Join(name, "clean"))); len(diags) != 0 {
+				t.Errorf("clean fixture produced findings:\n%s", render(diags))
+			}
+		})
+	}
+}
+
+// TestSuppression proves //lint:ignore drops a finding on the next
+// line, leaves others, and reports malformed directives.
+func TestSuppression(t *testing.T) {
+	p := loadFixture(t, "suppress")
+	diags := Check(p)
+	got := render(diags)
+	want := "" +
+		"suppressed.go:14: [determinism] time.Now reads the wall clock inside the model; pass timestamps in from the caller\n" +
+		"suppressed.go:18: [lint] malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`\n" +
+		"suppressed.go:19: [determinism] time.Now reads the wall clock inside the model; pass timestamps in from the caller\n"
+	if got != want {
+		t.Errorf("suppression mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCleanRealTree is the self-test the CI gate relies on: the suite
+// must pass over the repository's own packages. Fixture directories are
+// excluded the same way cmd/noclint excludes them.
+func TestCleanRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	l := fixtureLoader(t)
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || name == "vendor" || (strings.HasPrefix(name, ".") && path != l.ModuleRoot) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		p, err := l.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.ImportPath, p.TypeErrors[0])
+		}
+		if diags := Check(p); len(diags) != 0 {
+			t.Errorf("%s: unexpected findings:\n%s", p.ImportPath, render(diags))
+		}
+	}
+}
+
+// TestIDForms pins the humanized doc matching: figures by number,
+// tables by number or roman numeral, extensions literally.
+func TestIDForms(t *testing.T) {
+	doc := "Table I compares GPUs. Fig 1 and Figure 12 show latency. ext3 audits stages."
+	for _, id := range []string{"table1", "fig1", "fig12", "ext3"} {
+		if !docMentions(doc, id) {
+			t.Errorf("docMentions(%q) = false, want true", id)
+		}
+	}
+	for _, id := range []string{"table2", "fig2", "fig13", "ext4"} {
+		if docMentions(doc, id) {
+			t.Errorf("docMentions(%q) = true, want false", id)
+		}
+	}
+}
+
+// TestRoman pins the numeral rendering used for table IDs.
+func TestRoman(t *testing.T) {
+	cases := map[int]string{1: "i", 4: "iv", 9: "ix", 14: "xiv", 29: "xxix", 0: "", 31: ""}
+	for n, want := range cases {
+		if got := roman(n); got != want {
+			t.Errorf("roman(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package bad exercises the determinism analyzer: global math/rand use
+// and wall-clock reads inside an internal package.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Shuffle draws from the process-global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Jitter draws from the process-global source.
+func Jitter() float64 { return rand.Float64() }
+
+// Stamp reads the wall clock inside the model.
+func Stamp() time.Time { return time.Now() }
+
+// Elapsed reads the wall clock inside the model.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -1,0 +1,17 @@
+// Package bad exercises the errcheck analyzer: silently dropped error
+// returns in statements, defers and goroutines.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report writes to an arbitrary writer and ignores every error.
+func Report(w io.Writer, f *os.File) {
+	fmt.Fprintf(w, "report\n")
+	defer f.Close()
+	go f.Sync()
+	os.Remove("stale.csv")
+}

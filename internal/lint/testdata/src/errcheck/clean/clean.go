@@ -1,0 +1,26 @@
+// Package clean shows the sanctioned error-handling patterns: checked
+// returns, explicit discards, and writes that cannot fail.
+package clean
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Report handles or explicitly discards every error.
+func Report(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "report\n") // strings.Builder writes cannot fail
+	fmt.Println(b.String())     // stdout writes are allowlisted
+	if _, err := f.WriteString(b.String()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	_ = os.Remove("stale.csv") // explicit, auditable discard
+	return f.Close()
+}

@@ -1,0 +1,34 @@
+// Package bad exercises the orderedoutput analyzer: output and returned
+// slices driven by map iteration order.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes map entries in iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keys returns keys in iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Render builds a report string in iteration order.
+func Render(m map[string]float64) string {
+	var b strings.Builder
+	for k, v := range m {
+		b.WriteString(fmt.Sprintf("%s,%.2f\n", k, v))
+	}
+	return b.String()
+}

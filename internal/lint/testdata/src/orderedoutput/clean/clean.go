@@ -1,0 +1,40 @@
+// Package clean shows the sanctioned patterns: sorted keys before
+// output, collect-then-sort, and commutative accumulation.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Dump writes map entries in sorted key order.
+func Dump(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Keys collects then sorts, so the result is deterministic.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total accumulates commutatively; iteration order cannot show.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,24 @@
+// Package bad exercises the registry analyzer: an unregistered
+// constructor, a duplicate ID, and a registered experiment missing from
+// EXPERIMENTS.md (which sits next to this package).
+package bad
+
+// Experiment mirrors the core registry entry shape.
+type Experiment struct {
+	ID    string
+	Title string
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) { registry[e.ID] = e }
+
+func init() {
+	register(&Experiment{ID: "fig1", Title: "registered and documented"})
+	register(&Experiment{ID: "fig2", Title: "registered but missing from the doc"})
+	register(&Experiment{ID: "table1", Title: "documented as a roman numeral"})
+	register(&Experiment{ID: "fig1", Title: "duplicate ID"})
+}
+
+// orphan never reaches the registry, so All() will not return it.
+var orphan = &Experiment{ID: "fig9", Title: "constructed but never registered"}

@@ -1,0 +1,20 @@
+// Package suppress exercises //lint:ignore handling.
+package suppress
+
+import "time"
+
+// Banner deliberately reads the clock: the directive above the call
+// suppresses the determinism finding.
+func Banner() time.Time {
+	//lint:ignore determinism the report banner wants the real wall-clock time
+	return time.Now()
+}
+
+// Unsuppressed still fires.
+func Unsuppressed() time.Time { return time.Now() }
+
+// Malformed directives (no reason) are themselves reported.
+func MalformedDirective() time.Time {
+	//lint:ignore determinism
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+// Package bad exercises the unitsafety analyzer on code that compiles:
+// unit laundering, squared units and dimensionless ratios.
+package bad
+
+import "gpunoc/internal/units"
+
+// Launder converts a latency directly into a bandwidth.
+func Launder(c units.Cycles) units.GBps { return units.GBps(c) }
+
+// Square multiplies two latencies.
+func Square(a, b units.Cycles) units.Cycles { return a * b }
+
+// Ratio divides two bandwidths but keeps the unit type.
+func Ratio(a, b units.GBps) units.GBps { return a / b }

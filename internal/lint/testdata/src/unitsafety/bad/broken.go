@@ -1,0 +1,25 @@
+// The analyzer also names violations the compiler rejects (the loader
+// type-checks leniently): mixed-unit arithmetic and bare-float64
+// assignment to unit-typed fields.
+package bad
+
+import "gpunoc/internal/units"
+
+type calib struct {
+	RTT units.Cycles
+}
+
+// MixedAdd sums a latency and a bandwidth.
+func MixedAdd(c units.Cycles, g units.GBps) float64 {
+	return float64(c + g)
+}
+
+// SetRTT assigns an unwrapped float64 to a unit field.
+func SetRTT(cal *calib, v float64) {
+	cal.RTT = v
+}
+
+// NewCalib populates a unit field from a bare float64 variable.
+func NewCalib(v float64) calib {
+	return calib{RTT: v}
+}

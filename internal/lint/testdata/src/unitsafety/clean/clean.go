@@ -1,0 +1,24 @@
+// Package clean shows the sanctioned unit patterns: Scale for scalar
+// factors, float64(...) conversions at explicit boundaries, untyped
+// constants converting implicitly.
+package clean
+
+import "gpunoc/internal/units"
+
+type calib struct {
+	RTT units.Cycles
+}
+
+// Derate scales a bandwidth by a dimensionless factor.
+func Derate(b units.GBps) units.GBps { return b.Scale(0.88) }
+
+// Utilization crosses the unit boundary explicitly.
+func Utilization(carried, capacity units.GBps) float64 {
+	return float64(carried) / float64(capacity)
+}
+
+// Default uses an untyped constant, which converts implicitly.
+func Default() calib { return calib{RTT: 158} }
+
+// FromMeasurement wraps a raw measurement at the boundary.
+func FromMeasurement(v float64) units.Cycles { return units.Cycles(v) }

@@ -23,7 +23,7 @@ func SliceBandwidth(eng *bandwidth.Engine, sms []int, slice int) (float64, error
 	if err != nil {
 		return 0, err
 	}
-	return res.TotalGBs, nil
+	return float64(res.TotalGBs), nil
 }
 
 // MPBandwidth streams from sms to every slice of one memory partition.
@@ -45,7 +45,7 @@ func SetBandwidth(eng *bandwidth.Engine, sms []int, slices []int, write bool) (f
 	if err != nil {
 		return 0, err
 	}
-	return res.TotalGBs, nil
+	return float64(res.TotalGBs), nil
 }
 
 // AggregateFabricBandwidth measures the total L2 fabric bandwidth: all SMs
@@ -68,7 +68,7 @@ func MemoryBandwidth(eng *bandwidth.Engine) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.TotalGBs, nil
+	return float64(res.TotalGBs), nil
 }
 
 // Speedup measures the paper's input-speedup metric: the bandwidth of the

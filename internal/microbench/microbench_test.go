@@ -37,7 +37,7 @@ func TestMeasureL2LatencyBasic(t *testing.T) {
 		t.Errorf("latency %.1f outside the plausible V100 band", r.Summary.Mean)
 	}
 	// The measured mean approximates the model's mean for that pair.
-	want := dev.L2HitLatencyMean(24, 5)
+	want := float64(dev.L2HitLatencyMean(24, 5))
 	if diff := r.Summary.Mean - want; diff > 3 || diff < -3 {
 		t.Errorf("measured %.1f vs model %.1f", r.Summary.Mean, want)
 	}

@@ -110,7 +110,7 @@ func (cp *ContentionProber) SameSlice(addrA, addrB uint64) (bool, error) {
 	}
 	var bwA float64
 	for i := range cp.smsA {
-		bwA += res.PerFlowGBs[i]
+		bwA += float64(res.PerFlowGBs[i])
 	}
 	return bwA < 0.75*soloA, nil
 }

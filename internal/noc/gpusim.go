@@ -165,7 +165,12 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 		// MCs: finish DRAM accesses, inject replies, start new accesses.
 		cycle := reqNet.Cycle()
 		busyNow := 0
-		for _, st := range mcStates {
+		// Service MCs in the fixed mcs order, not map order: when the
+		// reply network backpressures, which MC flushes first decides
+		// who wins the injection slot, and that must not vary run to
+		// run.
+		for _, n := range mcs {
+			st := mcStates[n]
 			// Try to flush a reply whose DRAM access completed but whose
 			// injection is blocked by the reply-network interface.
 			if st.pendingReply != nil && cycle >= st.busyUntil {
@@ -210,8 +215,8 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 		repNet.Step()
 	}
 
-	for _, st := range mcStates {
-		res.RequestsServed += st.served
+	for _, n := range mcs {
+		res.RequestsServed += mcStates[n].served
 	}
 	denom := float64(cfg.Cycles * len(mcs))
 	res.MemUtilization = float64(busyTotal) / denom

@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"gpunoc/internal/units"
+
 	"fmt"
 	"math/rand"
 )
@@ -33,8 +35,8 @@ type LoadPoint struct {
 	OfferedRate float64
 	// AcceptedRate is delivered packets per cycle per compute node.
 	AcceptedRate float64
-	// AvgLatency is the mean packet network latency in cycles.
-	AvgLatency float64
+	// AvgLatency is the mean packet network latency.
+	AvgLatency units.Cycles
 }
 
 // LoadLatencyConfig configures the sweep; topology and traffic follow the
@@ -137,7 +139,7 @@ func RunLoadLatency(cfg LoadLatencyConfig) ([]LoadPoint, error) {
 		pt := LoadPoint{OfferedRate: rate}
 		if pkts > 0 {
 			pt.AcceptedRate = float64(pkts) / float64(cfg.Cycles) / float64(len(compute))
-			pt.AvgLatency = float64(lat) / float64(pkts)
+			pt.AvgLatency = units.Cycles(float64(lat) / float64(pkts))
 		}
 		points = append(points, pt)
 	}

@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpunoc/internal/units"
+)
 
 // SimPoint is one simulation-based prior-work configuration for the
 // Fig. 22 "network wall" analysis: the NoC-MEM interface bandwidth is
@@ -17,12 +21,12 @@ type SimPoint struct {
 	// MPs is C, the number of memory partitions (NoC-MEM ports).
 	MPs int
 	// MemBWGBs is the configured off-chip memory bandwidth.
-	MemBWGBs float64
+	MemBWGBs units.GBps
 }
 
 // NoCMemBWGBs returns the interface bandwidth f_NoC * w * C in GB/s.
-func (p SimPoint) NoCMemBWGBs() float64 {
-	return p.NoCClockGHz * p.ChannelBytes * float64(p.MPs)
+func (p SimPoint) NoCMemBWGBs() units.GBps {
+	return units.GBps(p.NoCClockGHz * p.ChannelBytes * float64(p.MPs))
 }
 
 // NetworkWalled reports whether the configuration sits below the paper's
@@ -74,7 +78,7 @@ func PriorWorkPoints() []SimPoint {
 // WallReport classifies points against the network wall.
 type WallReport struct {
 	Point  SimPoint
-	NoCMem float64
+	NoCMem units.GBps
 	Walled bool
 }
 

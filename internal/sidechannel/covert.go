@@ -74,7 +74,7 @@ func (c *CovertChannel) spyBandwidth(trojanActive bool) (float64, error) {
 	}
 	var spy float64
 	for i := 0; i < nSpy; i++ {
-		spy += res.PerFlowGBs[i]
+		spy += float64(res.PerFlowGBs[i])
 	}
 	return spy, nil
 }
@@ -167,9 +167,9 @@ func LocateVictimSlice(eng *bandwidth.Engine, victimFlows []bandwidth.Flow, prob
 		}
 		var probe float64
 		for i := range probeSMs {
-			probe += contended.PerFlowGBs[i]
+			probe += float64(contended.PerFlowGBs[i])
 		}
-		dips[s] = base.TotalGBs - probe
+		dips[s] = float64(base.TotalGBs) - probe
 	}
 	// The victim's slice shows the largest dip.
 	best := stats.Argsort(dips)

@@ -91,7 +91,7 @@ func TestCovertChannelSelectivity(t *testing.T) {
 	}
 	var spy float64
 	for i := range c.SpySMs {
-		spy += res.PerFlowGBs[i]
+		spy += float64(res.PerFlowGBs[i])
 	}
 	if spy < c.threshold {
 		t.Errorf("off-slice trojan dropped spy bandwidth to %.1f (threshold %.1f); channel not selective", spy, c.threshold)

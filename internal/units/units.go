@@ -1,0 +1,78 @@
+// Package units defines the measurement units the simulator traffics in.
+// Latency is always core-clock cycles, bandwidth is always GB/s (1e9 bytes
+// per second), sizes are bytes, and floorplan distance is abstract grid
+// units. Each is a defined type so the compiler — and the unitsafety
+// analyzer in internal/lint — rejects code that silently mixes them (a
+// latency added to a bandwidth, a grid distance used as cycles, ...).
+//
+// Conversion discipline: crossing a unit boundary must be spelled out.
+// Either go through an explicit float64(...)/int64(...) at a measurement
+// boundary (e.g. handing cycle samples to the unit-agnostic stats
+// package), or use one of the typed helpers below (CyclesPerGU.Times,
+// Cycles.Scale, ...). Direct conversions between two unit types, such as
+// GBps(someCycles), are flagged by `noclint`'s unitsafety analyzer even
+// though the compiler accepts them.
+package units
+
+import "fmt"
+
+// Cycles is a latency or duration in GPU core-clock cycles.
+type Cycles float64
+
+// Scale returns c scaled by the dimensionless factor f (e.g. a hop count
+// or a noise multiplier). Preferred over Cycles*Cycles, which the
+// unitsafety analyzer flags as dimensionally squared.
+func (c Cycles) Scale(f float64) Cycles { return Cycles(float64(c) * f) }
+
+// Seconds converts c to wall-clock seconds at the given core clock.
+func (c Cycles) Seconds(coreClockMHz int) float64 {
+	return float64(c) / (float64(coreClockMHz) * 1e6)
+}
+
+// String renders the latency, e.g. "212.4 cyc".
+func (c Cycles) String() string { return fmt.Sprintf("%.1f cyc", float64(c)) }
+
+// GBps is a bandwidth in 1e9 bytes per second.
+type GBps float64
+
+// Scale returns b scaled by the dimensionless factor f (an efficiency,
+// a speedup, a fabric factor, ...).
+func (b GBps) Scale(f float64) GBps { return GBps(float64(b) * f) }
+
+// String renders the bandwidth, e.g. "900 GB/s".
+func (b GBps) String() string { return fmt.Sprintf("%g GB/s", float64(b)) }
+
+// Bytes is a size or capacity in bytes.
+type Bytes int64
+
+// Common power-of-two sizes.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+)
+
+// String renders the size with a binary suffix where it divides evenly.
+func (s Bytes) String() string {
+	switch {
+	case s >= MiB && s%MiB == 0:
+		return fmt.Sprintf("%d MiB", int64(s/MiB))
+	case s >= KiB && s%KiB == 0:
+		return fmt.Sprintf("%d KiB", int64(s/KiB))
+	}
+	return fmt.Sprintf("%d B", int64(s))
+}
+
+// GridUnits is a floorplan distance in abstract grid units ("gu", see
+// internal/floorplan). It becomes cycles only through a CyclesPerGU wire
+// coefficient.
+type GridUnits float64
+
+// String renders the distance, e.g. "3.5 gu".
+func (g GridUnits) String() string { return fmt.Sprintf("%g gu", float64(g)) }
+
+// CyclesPerGU is a wire-delay coefficient: round-trip cycles per grid
+// unit of rectilinear wire.
+type CyclesPerGU float64
+
+// Times converts a floorplan distance to cycles.
+func (w CyclesPerGU) Times(d GridUnits) Cycles { return Cycles(float64(w) * float64(d)) }
