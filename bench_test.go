@@ -337,7 +337,7 @@ func BenchmarkAblationLocalCaching(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		lat, err := microbench.GPCToMPLatency(dev, 0, 1)
+		lat, err := microbench.GPCToMPLatency(dev, 0, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

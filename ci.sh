@@ -23,4 +23,19 @@ go run ./cmd/noclint ./...
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> nocchar -all parallel determinism smoke (race)"
+# The parallel runner must make pool size invisible: stdout of a full
+# quick sweep is byte-compared between one worker and a wide pool, with
+# the race detector watching the fan-out. Timings go to stderr.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -race -o "$tmpdir/nocchar" ./cmd/nocchar
+"$tmpdir/nocchar" -gpu v100 -all -quick -parallel 1 >"$tmpdir/seq.out" 2>/dev/null
+"$tmpdir/nocchar" -gpu v100 -all -quick -parallel 8 >"$tmpdir/par.out" 2>/dev/null
+if ! cmp -s "$tmpdir/seq.out" "$tmpdir/par.out"; then
+	echo "nocchar -all output differs between -parallel 1 and -parallel 8" >&2
+	diff "$tmpdir/seq.out" "$tmpdir/par.out" | head -20 >&2
+	exit 1
+fi
+
 echo "==> all checks passed"

@@ -8,7 +8,13 @@
 //	nocchar -gpu v100 -exp fig1
 //	nocchar -gpu a100 -exp fig12 -csv
 //	nocchar -gpu h100 -all
+//	nocchar -gpu h100 -all -parallel 8
 //	nocchar -observations
+//
+// -parallel N sizes the deterministic worker pool (default GOMAXPROCS):
+// experiments of an -all run and the row sweeps inside each experiment
+// fan out across it, with results landing in index-addressed slots, so
+// the output is byte-identical for every N.
 package main
 
 import (
@@ -16,11 +22,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"gpunoc/internal/core"
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/parallel"
 )
 
 func main() {
@@ -36,8 +44,16 @@ func main() {
 		implications = flag.Bool("implications", false, "check the paper's 6 implications")
 		report       = flag.String("report", "", "write a full Markdown report of every experiment to this file")
 		jsonOut      = flag.Bool("json", false, "emit artifacts as JSON")
+		workers      = flag.Int("parallel", 0, "worker-pool size for experiment fan-out and sweep sharding; 0 means GOMAXPROCS (output is byte-identical for every value)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		// One knob drives both levels of parallelism: the explicit pool
+		// arguments below and parallel.DefaultWorkers(), which reads
+		// GOMAXPROCS for every sweep that is not handed a pool size.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *list {
 		for _, e := range core.All() {
@@ -100,7 +116,7 @@ func main() {
 		if *runAll {
 			cfgs = gpu.AllConfigs()
 		}
-		if err := writeReportFile(*report, cfgs, *quick); err != nil {
+		if err := writeReportFile(*report, cfgs, *quick, *workers); err != nil {
 			fatal(err)
 		}
 		fmt.Println("report written to", *report)
@@ -111,6 +127,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx.Workers = *workers
 
 	var exps []*core.Experiment
 	switch {
@@ -138,12 +155,31 @@ func main() {
 			fatal(err)
 		}
 	}
-	for _, e := range exps {
+	// Fan the experiments out across the pool; artifacts land in
+	// index-addressed slots and are printed below in registry order, so
+	// stdout is byte-identical to a sequential run. Wall times go to
+	// stderr to keep it that way.
+	type outcome struct {
+		arts []core.Artifact
+		err  error
+		dur  time.Duration
+	}
+	t0 := time.Now()
+	results, err := parallel.Map(*workers, len(exps), func(i int) (outcome, error) {
+		start := time.Since(t0)
+		arts, err := exps[i].Run(ctx)
+		return outcome{arts: arts, err: err, dur: time.Since(t0) - start}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i, e := range exps {
 		fmt.Printf("=== %s: %s [%s]\n", e.ID, e.Title, cfg.Name)
 		fmt.Printf("    paper: %s\n\n", e.Paper)
-		arts, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "    error: %v\n\n", err)
+		arts, runErr := results[i].arts, results[i].err
+		fmt.Fprintf(os.Stderr, "nocchar: %s wall time %s\n", e.ID, results[i].dur.Round(time.Millisecond))
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "    error: %v\n\n", runErr)
 			continue
 		}
 		if *jsonOut {
@@ -173,12 +209,22 @@ func main() {
 // writeReportFile writes the full Markdown report to path, surfacing
 // Close errors (a buffered flush can fail even when every write
 // succeeded).
-func writeReportFile(path string, cfgs []gpu.Config, quick bool) error {
+func writeReportFile(path string, cfgs []gpu.Config, quick bool, workers int) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := core.WriteReport(f, cfgs, quick, time.Now()); err != nil {
+	// The stopwatch is injected here: internal/core never reads the
+	// clock itself, keeping its output byte-comparable when no clock is
+	// supplied (noclint's determinism analyzer enforces this split).
+	t0 := time.Now()
+	opts := core.ReportOptions{
+		Quick:     quick,
+		Now:       t0,
+		Workers:   workers,
+		Stopwatch: func() time.Duration { return time.Since(t0) },
+	}
+	if err := core.WriteReportOptions(f, cfgs, opts); err != nil {
 		_ = f.Close()
 		return err
 	}

@@ -89,3 +89,30 @@ func TestReportDeterminism(t *testing.T) {
 		t.Fatalf("report lengths differ: %d vs %d", len(first), len(second))
 	}
 }
+
+// TestReportParallelMatchesSequential renders the report with a
+// single-worker pool and again with wide pools and demands byte-identical
+// output: the parallel runner's index-addressed result slots must make
+// goroutine scheduling invisible in every artifact.
+func TestReportParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment several times")
+	}
+	fixed := time.Date(2024, 11, 2, 12, 0, 0, 0, time.UTC)
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		opts := core.ReportOptions{Quick: true, Now: fixed, Workers: workers}
+		if err := core.WriteReportOptions(&buf, []gpu.Config{gpu.V100()}, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sequential := render(1)
+	for _, workers := range []int{2, 8} {
+		par := render(workers)
+		if !bytes.Equal(sequential, par) {
+			t.Fatalf("report with %d workers differs from sequential: %d vs %d bytes",
+				workers, len(par), len(sequential))
+		}
+	}
+}

@@ -124,9 +124,12 @@ func LatencyProfile(dev *Device, sm, iters int) ([]float64, error) {
 }
 
 // CorrelationHeatmap computes the SM-by-SM Pearson matrix of latency
-// profiles (the paper's Fig. 6). A nil sms slice covers every SM.
+// profiles (the paper's Fig. 6). A nil sms slice covers every SM. The
+// profile rows are measured on the deterministic parallel runner
+// (internal/parallel) with the GOMAXPROCS-derived pool size; the result
+// is byte-identical to a sequential sweep.
 func CorrelationHeatmap(dev *Device, sms []int, iters int) ([][]float64, error) {
-	return microbench.CorrelationHeatmap(dev, sms, iters)
+	return microbench.CorrelationHeatmap(dev, sms, iters, 0)
 }
 
 // BandwidthEngine solves steady-state bandwidth allocations.

@@ -6,6 +6,7 @@ import (
 	"gpunoc/internal/bandwidth"
 	"gpunoc/internal/gpu"
 	"gpunoc/internal/microbench"
+	"gpunoc/internal/parallel"
 	"gpunoc/internal/stats"
 )
 
@@ -78,20 +79,25 @@ func runFig9(ctx *Context) ([]Artifact, error) {
 		},
 	}
 
-	// (b) single SM -> single slice distribution.
+	// (b) single SM -> single slice distribution. The (SM, slice) pair
+	// list is fixed up front and sharded across the pool; slot order
+	// keeps the histogram identical to the sequential sweep.
 	step := 6
 	if ctx.Quick {
 		step = 12
 	}
-	var single []float64
+	type pair struct{ sm, s int }
+	var pairs []pair
 	for sm := 0; sm < cfg.SMs(); sm += step {
 		for s := 0; s < cfg.L2Slices; s += 4 {
-			bw, err := microbench.SliceBandwidth(ctx.Engine, []int{sm}, s)
-			if err != nil {
-				return nil, err
-			}
-			single = append(single, bw)
+			pairs = append(pairs, pair{sm: sm, s: s})
 		}
+	}
+	single, err := parallel.Map(ctx.Workers, len(pairs), func(i int) (float64, error) {
+		return microbench.SliceBandwidth(ctx.Engine, []int{pairs[i].sm}, pairs[i].s)
+	})
+	if err != nil {
+		return nil, err
 	}
 	sumB := stats.Summarize(single)
 	hb := &Text{
@@ -99,14 +105,12 @@ func runFig9(ctx *Context) ([]Artifact, error) {
 		Body: stats.HistogramOf(single, 16).Render(40),
 	}
 
-	// (c) whole GPC -> single slice.
-	var gpcBW []float64
-	for g := 0; g < cfg.GPCs; g++ {
-		bw, err := microbench.SliceBandwidth(ctx.Engine, dev.SMsOfGPC(g), 5)
-		if err != nil {
-			return nil, err
-		}
-		gpcBW = append(gpcBW, bw)
+	// (c) whole GPC -> single slice, one worker per GPC.
+	gpcBW, err := parallel.Map(ctx.Workers, cfg.GPCs, func(g int) (float64, error) {
+		return microbench.SliceBandwidth(ctx.Engine, dev.SMsOfGPC(g), 5)
+	})
+	if err != nil {
+		return nil, err
 	}
 	sumC := stats.Summarize(gpcBW)
 	hc := &Text{
@@ -193,17 +197,15 @@ func runFig12(ctx *Context) ([]Artifact, error) {
 	if ctx.Quick {
 		step = 8
 	}
+	var slices []int
 	for s := 0; s < cfg.L2Slices; s += step {
 		ms.X = append(ms.X, float64(s))
+		slices = append(slices, s)
 	}
 	for _, sm := range []int{0, cfg.GPCs / 2} {
-		var y []float64
-		for s := 0; s < cfg.L2Slices; s += step {
-			bw, err := microbench.SliceBandwidth(ctx.Engine, []int{sm}, s)
-			if err != nil {
-				return nil, err
-			}
-			y = append(y, bw)
+		y, err := microbench.PerSliceBandwidth(ctx.Engine, sm, slices, ctx.Workers)
+		if err != nil {
+			return nil, err
 		}
 		ms.Lines = append(ms.Lines, NamedLine{
 			Label: fmt.Sprintf("SM%d(part%d)", sm, dev.PartitionOfSM(sm)), Y: y,
@@ -219,13 +221,13 @@ func runFig13(ctx *Context) ([]Artifact, error) {
 	if ctx.Quick {
 		step = 8
 	}
-	var xs []float64
+	var sms []int
 	for sm := 0; sm < cfg.SMs(); sm += step {
-		bw, err := microbench.SliceBandwidth(ctx.Engine, []int{sm}, 0)
-		if err != nil {
-			return nil, err
-		}
-		xs = append(xs, bw)
+		sms = append(sms, sm)
+	}
+	xs, err := microbench.PerSMSliceBandwidth(ctx.Engine, sms, 0, ctx.Workers)
+	if err != nil {
+		return nil, err
 	}
 	h := stats.HistogramOf(xs, 20)
 	peaks := h.Peaks(0.3)
@@ -248,19 +250,32 @@ func runFig14(ctx *Context) ([]Artifact, error) {
 		XLabel: "SMs", YLabel: "GB/s",
 	}
 	nearSlice, farSlice := 0, dev.Config().MPs-1 // MP0 vs the last MP (other partition)
-	var near, far []float64
 	for n := 1; n <= maxN; n++ {
 		ms.X = append(ms.X, float64(n))
+	}
+	// One worker per SM-count point; each point solves its near and far
+	// flows together so the pair stays adjacent in the cache.
+	type point struct{ near, far float64 }
+	pts, err := parallel.Map(ctx.Workers, maxN, func(i int) (point, error) {
+		n := i + 1
 		bwN, err := microbench.SliceBandwidth(ctx.Engine, sms[:n], nearSlice)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		bwF, err := microbench.SliceBandwidth(ctx.Engine, sms[:n], farSlice)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		near = append(near, bwN)
-		far = append(far, bwF)
+		return point{near: bwN, far: bwF}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	near := make([]float64, maxN)
+	far := make([]float64, maxN)
+	for i, p := range pts {
+		near[i] = p.near
+		far[i] = p.far
 	}
 	ms.Lines = []NamedLine{{Label: "near", Y: near}, {Label: "far", Y: far}}
 	return []Artifact{ms}, nil

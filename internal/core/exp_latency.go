@@ -269,7 +269,7 @@ func runFig6(ctx *Context) ([]Artifact, error) {
 			sms = append(sms, gsms[i*step])
 		}
 	}
-	m, err := microbench.CorrelationHeatmap(dev, sms, ctx.iters(8, 2))
+	m, err := microbench.CorrelationHeatmap(dev, sms, ctx.iters(8, 2), ctx.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -304,11 +304,11 @@ func runFig8(ctx *Context) ([]Artifact, error) {
 	dev := ctx.Device
 	cfg := dev.Config()
 	iters := ctx.iters(4, 1)
-	hit, err := microbench.GPCToMPLatency(dev, 0, iters)
+	hit, err := microbench.GPCToMPLatency(dev, 0, iters, ctx.Workers)
 	if err != nil {
 		return nil, err
 	}
-	pen, err := microbench.GPCToMPMissPenalty(dev, 0, iters)
+	pen, err := microbench.GPCToMPMissPenalty(dev, 0, iters, ctx.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,11 @@ type Context struct {
 	// Quick trades statistical depth for speed (used by `go test -bench`
 	// wrappers); experiments reduce sample counts under it.
 	Quick bool
+	// Workers bounds the worker pool of the experiment's internal sweeps
+	// (parallel.Map shards); <= 0 selects the GOMAXPROCS-derived
+	// default. Results are index-addressed, so any value yields
+	// byte-identical artifacts.
+	Workers int
 }
 
 // NewContext builds a context for a generation config.

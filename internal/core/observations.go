@@ -114,11 +114,11 @@ func CheckObservations() ([]ObservationResult, error) {
 		fmt.Sprintf("CPC0-CPC0 %.0f vs CPC2-CPC2 %.0f cycles", hm[0][0], hm[2][2]))
 
 	// #6: partition crossing and L2 policy.
-	aLat, err := microbench.GPCToMPLatency(a100.Device, 0, 1)
+	aLat, err := microbench.GPCToMPLatency(a100.Device, 0, 1, 0)
 	if err != nil {
 		return nil, err
 	}
-	hLat, err := microbench.GPCToMPLatency(h100.Device, 0, 1)
+	hLat, err := microbench.GPCToMPLatency(h100.Device, 0, 1, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -7,29 +7,97 @@ import (
 	"time"
 
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/parallel"
 )
+
+// ReportOptions configures WriteReportOptions.
+type ReportOptions struct {
+	// Quick trades statistical depth for speed.
+	Quick bool
+	// Now stamps the report header.
+	Now time.Time
+	// Workers bounds the (experiment, generation) fan-out pool and each
+	// experiment's internal sweeps; <= 0 selects the GOMAXPROCS-derived
+	// default. The report bytes are identical for every value.
+	Workers int
+	// Stopwatch, when non-nil, returns elapsed wall time since an origin
+	// of the caller's choosing and enables the per-experiment timing
+	// footer. Callers inject it (cmd/nocchar passes a time.Since
+	// closure) so this package never reads the clock itself and reports
+	// stay byte-comparable whenever Stopwatch is nil.
+	Stopwatch func() time.Duration
+}
 
 // WriteReport runs every experiment applicable to the given generations
 // and writes a self-contained Markdown report: per experiment, the
 // paper's claim and the model's artifacts. It is the one-command
 // regeneration of the paper's evaluation section.
 func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) error {
+	return WriteReportOptions(w, cfgs, ReportOptions{Quick: quick, Now: now})
+}
+
+// WriteReportOptions is WriteReport with explicit options. The
+// (experiment, generation) pairs run concurrently on the deterministic
+// parallel runner; results land in index-addressed slots and are
+// rendered in registry order, so the output is byte-identical to a
+// sequential run for every pool size.
+func WriteReportOptions(w io.Writer, cfgs []gpu.Config, opts ReportOptions) error {
 	if len(cfgs) == 0 {
 		return fmt.Errorf("core: no generations to report on")
 	}
 	pw := &printer{w: w}
 	pw.printf("# gpunoc characterization report\n\n")
-	pw.printf("Generated %s; quick mode: %v.\n\n", now.Format("2006-01-02 15:04 MST"), quick)
+	pw.printf("Generated %s; quick mode: %v.\n\n", opts.Now.Format("2006-01-02 15:04 MST"), opts.Quick)
 
 	ctxs := map[gpu.Generation]*Context{}
 	for _, cfg := range cfgs {
-		ctx, err := NewContext(cfg, quick)
+		ctx, err := NewContext(cfg, opts.Quick)
 		if err != nil {
 			return err
 		}
+		ctx.Workers = opts.Workers
 		ctxs[cfg.Name] = ctx
 	}
 
+	// Fan the (experiment, generation) pairs out across the pool. An
+	// experiment's own error is part of its result (it renders as "not
+	// applicable"), so a worker never fails and no pair is skipped.
+	type job struct {
+		e   *Experiment
+		cfg gpu.Config
+	}
+	var jobs []job
+	for _, e := range All() {
+		for _, cfg := range cfgs {
+			if e.SupportsGPU(cfg.Name) {
+				jobs = append(jobs, job{e: e, cfg: cfg})
+			}
+		}
+	}
+	type outcome struct {
+		arts []Artifact
+		err  error
+		dur  time.Duration
+	}
+	results, err := parallel.Map(opts.Workers, len(jobs), func(i int) (outcome, error) {
+		j := jobs[i]
+		var start time.Duration
+		if opts.Stopwatch != nil {
+			start = opts.Stopwatch()
+		}
+		arts, err := j.e.Run(ctxs[j.cfg.Name])
+		o := outcome{arts: arts, err: err}
+		if opts.Stopwatch != nil {
+			o.dur = opts.Stopwatch() - start
+		}
+		return o, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Render in registry order; jobs were built in the same order.
+	k := 0
 	for _, e := range All() {
 		pw.printf("## %s — %s\n\n", e.ID, e.Title)
 		pw.printf("*Paper:* %s\n\n", e.Paper)
@@ -38,13 +106,14 @@ func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) erro
 			if !e.SupportsGPU(cfg.Name) {
 				continue
 			}
-			arts, err := e.Run(ctxs[cfg.Name])
-			if err != nil {
-				pw.printf("`%s` on %s: not applicable (%v)\n\n", e.ID, cfg.Name, err)
+			r := results[k]
+			k++
+			if r.err != nil {
+				pw.printf("`%s` on %s: not applicable (%v)\n\n", e.ID, cfg.Name, r.err)
 				continue
 			}
 			ran = true
-			for _, a := range arts {
+			for _, a := range r.arts {
 				pw.printf("```\n%s```\n\n", ensureTrailingNewline(a.Render()))
 			}
 		}
@@ -65,6 +134,30 @@ func WriteReport(w io.Writer, cfgs []gpu.Config, quick bool, now time.Time) erro
 			mark = " "
 		}
 		pw.printf("- [%s] #%d %s — %s\n", mark, o.ID, o.Text, o.Detail)
+	}
+
+	// Wall-time footer, only when the caller injected a clock: timings
+	// are inherently nondeterministic, so they must never appear in a
+	// byte-compared report.
+	if opts.Stopwatch != nil {
+		pw.printf("\n## Experiment wall times\n\n")
+		k = 0
+		for _, e := range All() {
+			var total time.Duration
+			any := false
+			for _, cfg := range cfgs {
+				if !e.SupportsGPU(cfg.Name) {
+					continue
+				}
+				total += results[k].dur
+				k++
+				any = true
+			}
+			if any {
+				pw.printf("- %s: %s\n", e.ID, total.Round(time.Millisecond))
+			}
+		}
+		pw.printf("- total elapsed: %s\n", opts.Stopwatch().Round(time.Millisecond))
 	}
 	return pw.err
 }

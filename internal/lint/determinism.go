@@ -9,14 +9,18 @@ import (
 // DeterminismAnalyzer flags nondeterminism sources that would make
 // simulation results irreproducible: calls to math/rand package-level
 // functions (which draw from the process-global, unseeded source instead
-// of a seeded *rand.Rand threaded through the model), and wall-clock
-// reads (time.Now, time.Since) inside internal packages. Command
-// packages (cmd/...) may read the clock for report timestamps; the model
-// itself must not.
+// of a seeded *rand.Rand threaded through the model), wall-clock reads
+// (time.Now, time.Since) inside internal packages, and raw go
+// statements inside internal packages. Command packages (cmd/...) may
+// read the clock for report timestamps; the model itself must not.
+// Concurrency belongs in internal/parallel, whose index-addressed
+// worker pool keeps reduction order independent of goroutine
+// scheduling; a bare goroutine anywhere else in the model invites
+// scheduling-order-dependent results.
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
-		Doc:  "flag unseeded math/rand use and wall-clock reads inside the model",
+		Doc:  "flag unseeded math/rand use, wall-clock reads, and raw goroutines inside the model",
 		Run:  runDeterminism,
 	}
 }
@@ -38,8 +42,18 @@ var clockFuncs = map[string]bool{
 func runDeterminism(p *Package) []Diagnostic {
 	internal := strings.Contains(p.ImportPath+"/", "/internal/")
 	inCmd := strings.Contains(p.ImportPath+"/", "/cmd/")
+	// internal/parallel is the one sanctioned home for goroutines: its
+	// runner is what makes them deterministic for everyone else.
+	inParallel := strings.HasSuffix(p.ImportPath, "internal/parallel")
 	var diags []Diagnostic
 	p.walkFiles(func(file *ast.File, n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if internal && !inCmd && !inParallel {
+				diags = append(diags, p.diag(g.Pos(), "determinism",
+					"go statement spawns a raw goroutine inside the model; shard through parallel.Map/ForEach so results stay index-addressed and scheduling-independent"))
+			}
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

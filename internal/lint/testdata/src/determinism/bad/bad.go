@@ -20,3 +20,9 @@ func Stamp() time.Time { return time.Now() }
 
 // Elapsed reads the wall clock inside the model.
 func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Race spawns a raw goroutine inside the model; concurrency must go
+// through internal/parallel's index-addressed runner.
+func Race(xs []int) {
+	go Shuffle(xs)
+}

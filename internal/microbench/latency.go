@@ -10,6 +10,7 @@ import (
 
 	"gpunoc/internal/gpu"
 	"gpunoc/internal/kernel"
+	"gpunoc/internal/parallel"
 	"gpunoc/internal/stats"
 )
 
@@ -94,9 +95,14 @@ func LatencyProfile(dev *gpu.Device, sm, iters int) ([]float64, error) {
 	return out, nil
 }
 
-// LatencyMatrix measures the full [SM][slice] mean-latency matrix.
-// sms selects the rows; nil means every SM.
-func LatencyMatrix(dev *gpu.Device, sms []int, iters int) ([][]float64, error) {
+// LatencyMatrix measures the full [SM][slice] mean-latency matrix,
+// sharding one worker per SM row. sms selects the rows; nil means every
+// SM. workers <= 0 selects the GOMAXPROCS-derived default; rows land in
+// index-addressed slots, so the matrix is identical for every worker
+// count. Each row's measurements build their own kernel.Machine, and the
+// shared *gpu.Device is immutable after construction, so rows race on
+// nothing.
+func LatencyMatrix(dev *gpu.Device, sms []int, iters, workers int) ([][]float64, error) {
 	if sms == nil {
 		cfg := dev.Config()
 		sms = make([]int, cfg.SMs())
@@ -104,21 +110,16 @@ func LatencyMatrix(dev *gpu.Device, sms []int, iters int) ([][]float64, error) {
 			sms[i] = i
 		}
 	}
-	out := make([][]float64, len(sms))
-	for i, sm := range sms {
-		prof, err := LatencyProfile(dev, sm, iters)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = prof
-	}
-	return out, nil
+	return parallel.Map(workers, len(sms), func(i int) ([]float64, error) {
+		return LatencyProfile(dev, sms[i], iters)
+	})
 }
 
 // CorrelationHeatmap computes the SM-by-SM Pearson correlation matrix of
-// latency profiles (Fig. 6). sms selects the SMs; nil means all.
-func CorrelationHeatmap(dev *gpu.Device, sms []int, iters int) ([][]float64, error) {
-	profiles, err := LatencyMatrix(dev, sms, iters)
+// latency profiles (Fig. 6), with profile rows measured in parallel.
+// sms selects the SMs; nil means all. workers <= 0 selects the default.
+func CorrelationHeatmap(dev *gpu.Device, sms []int, iters, workers int) ([][]float64, error) {
+	profiles, err := LatencyMatrix(dev, sms, iters, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -136,85 +137,115 @@ func SMToSMLatencyMatrix(dev *gpu.Device, gpc, iters int) ([][]float64, error) {
 	if gpc < 0 || gpc >= cfg.GPCs {
 		return nil, fmt.Errorf("microbench: GPC %d out of range", gpc)
 	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("microbench: iters must be positive, got %d", iters)
+	}
 	n := cfg.CPCsPerGPC
+	// The probe loads from a CPC's second SM into the first SM of the
+	// peer CPC, so every CPC must expose at least two SMs; a gpu.Custom
+	// design with a single SM per CPC cannot host the measurement.
+	for cpc := 0; cpc < n; cpc++ {
+		if got := len(dev.SMsOfCPC(gpc, cpc)); got < 2 {
+			return nil, fmt.Errorf("microbench: GPC %d CPC %d has %d SM(s); the SM-to-SM probe needs at least 2 per CPC", gpc, cpc, got)
+		}
+	}
 	out := make([][]float64, n)
 	for src := 0; src < n; src++ {
 		out[src] = make([]float64, n)
 		srcSM := dev.SMsOfCPC(gpc, src)[0]
 		for dst := 0; dst < n; dst++ {
 			dstSM := dev.SMsOfCPC(gpc, dst)[1]
-			m, err := kernel.NewMachine(dev, kernel.PinnedScheduler{SM: srcSM}, kernel.DefaultOptions())
+			mean, err := remoteSharedMean(dev, srcSM, dstSM, iters)
 			if err != nil {
 				return nil, err
 			}
-			var sum float64
-			_, err = m.Launch(1, 1, func(w *kernel.Warp) {
-				for i := 0; i < iters; i++ {
-					lat, err := w.LoadRemoteShared(dstSM)
-					if err != nil {
-						return
-					}
-					sum += lat
-				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			out[src][dst] = sum / float64(iters)
+			out[src][dst] = mean
 		}
 	}
 	return out, nil
 }
 
+// remoteSharedMean times iters remote-shared-memory loads from srcSM to
+// dstSM and returns their mean latency. A failed remote load fails the
+// whole measurement, not silently deflates the mean: the error is carried
+// out of the warp closure, and the mean divides by the iterations that
+// actually completed rather than by iters.
+func remoteSharedMean(dev *gpu.Device, srcSM, dstSM, iters int) (float64, error) {
+	m, err := kernel.NewMachine(dev, kernel.PinnedScheduler{SM: srcSM}, kernel.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var done int
+	var loadErr error
+	_, err = m.Launch(1, 1, func(w *kernel.Warp) {
+		for i := 0; i < iters; i++ {
+			lat, err := w.LoadRemoteShared(dstSM)
+			if err != nil {
+				loadErr = err
+				return
+			}
+			sum += lat
+			done++
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if loadErr != nil {
+		return 0, fmt.Errorf("microbench: remote-shared load SM%d->SM%d after %d/%d iterations: %w",
+			srcSM, dstSM, done, iters, loadErr)
+	}
+	return sum / float64(done), nil
+}
+
 // GPCToMPLatency returns the average L2 hit latency from the SMs of each
-// GPC to the slices of one MP (the Fig. 8 top row), indexed by GPC.
-func GPCToMPLatency(dev *gpu.Device, mp, iters int) ([]float64, error) {
+// GPC to the slices of one MP (the Fig. 8 top row), indexed by GPC, with
+// one worker per GPC row. workers <= 0 selects the default.
+func GPCToMPLatency(dev *gpu.Device, mp, iters, workers int) ([]float64, error) {
 	cfg := dev.Config()
 	if mp < 0 || mp >= cfg.MPs {
 		return nil, fmt.Errorf("microbench: MP %d out of range", mp)
 	}
-	out := make([]float64, cfg.GPCs)
-	for g := 0; g < cfg.GPCs; g++ {
+	return parallel.Map(workers, cfg.GPCs, func(g int) (float64, error) {
 		var xs []float64
 		for _, sm := range dev.SMsOfGPC(g) {
 			for _, s := range dev.SlicesOfMP(mp) {
 				r, err := MeasureL2Latency(dev, sm, s, iters)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				xs = append(xs, r.Summary.Mean)
 			}
 		}
-		out[g] = stats.Mean(xs)
-	}
-	return out, nil
+		return stats.Mean(xs), nil
+	})
 }
 
 // GPCToMPMissPenalty returns the average L2 miss penalty (miss latency
 // minus hit latency) from each GPC's SMs for lines homed in one MP
-// (the Fig. 8 bottom row).
-func GPCToMPMissPenalty(dev *gpu.Device, mp, iters int) ([]float64, error) {
+// (the Fig. 8 bottom row), with one worker per GPC row. workers <= 0
+// selects the default.
+func GPCToMPMissPenalty(dev *gpu.Device, mp, iters, workers int) ([]float64, error) {
 	cfg := dev.Config()
 	if mp < 0 || mp >= cfg.MPs {
 		return nil, fmt.Errorf("microbench: MP %d out of range", mp)
 	}
-	out := make([]float64, cfg.GPCs)
-	for g := 0; g < cfg.GPCs; g++ {
+	return parallel.Map(workers, cfg.GPCs, func(g int) (float64, error) {
 		var xs []float64
 		for _, sm := range dev.SMsOfGPC(g) {
 			for _, s := range dev.SlicesOfMP(mp) {
 				hit, err := MeasureL2Latency(dev, sm, s, iters)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				miss, err := MeasureL2MissLatency(dev, sm, s, iters)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				xs = append(xs, miss.Summary.Mean-hit.Summary.Mean)
 			}
 		}
-		out[g] = stats.Mean(xs)
-	}
-	return out, nil
+		return stats.Mean(xs), nil
+	})
 }

@@ -2,6 +2,7 @@ package microbench
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"gpunoc/internal/bandwidth"
@@ -90,7 +91,7 @@ func TestCorrelationHeatmapStructure(t *testing.T) {
 	dev := v100(t)
 	// One SM per GPC for speed: SMs 0..5 are GPCs 0..5.
 	sms := []int{0, 1, 2, 3, 4, 5}
-	hm, err := CorrelationHeatmap(dev, sms, 6)
+	hm, err := CorrelationHeatmap(dev, sms, 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestSMToSMLatencyMatrixH100(t *testing.T) {
 func TestGPCToMPLatencyPartitions(t *testing.T) {
 	// A100, destination MP0 (partition 0): GPCs 0-3 near, 4-7 far.
 	dev := gpu.MustNew(gpu.A100())
-	lat, err := GPCToMPLatency(dev, 0, 3)
+	lat, err := GPCToMPLatency(dev, 0, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestGPCToMPLatencyPartitions(t *testing.T) {
 
 func TestGPCToMPLatencyH100Uniform(t *testing.T) {
 	dev := gpu.MustNew(gpu.H100())
-	lat, err := GPCToMPLatency(dev, 0, 3)
+	lat, err := GPCToMPLatency(dev, 0, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestGPCToMPLatencyH100Uniform(t *testing.T) {
 func TestGPCToMPMissPenalty(t *testing.T) {
 	// V100: constant. H100: varies with requester partition.
 	v := v100(t)
-	pen, err := GPCToMPMissPenalty(v, 0, 2)
+	pen, err := GPCToMPMissPenalty(v, 0, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,17 +175,17 @@ func TestGPCToMPMissPenalty(t *testing.T) {
 		t.Errorf("V100 miss penalty spread %.0f, want ~constant", spread)
 	}
 	h := gpu.MustNew(gpu.H100())
-	penH, err := GPCToMPMissPenalty(h, 0, 2)
+	penH, err := GPCToMPMissPenalty(h, 0, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if spread := stats.Max(penH) - stats.Min(penH); spread < 100 {
 		t.Errorf("H100 miss penalty spread %.0f, want home-partition dependence", spread)
 	}
-	if _, err := GPCToMPMissPenalty(v, 99, 2); err == nil {
+	if _, err := GPCToMPMissPenalty(v, 99, 2, 0); err == nil {
 		t.Error("bad MP should fail")
 	}
-	if _, err := GPCToMPLatency(v, 99, 2); err == nil {
+	if _, err := GPCToMPLatency(v, 99, 2, 0); err == nil {
 		t.Error("bad MP should fail")
 	}
 }
@@ -347,7 +348,7 @@ func TestLatencyMatrixDefaultsToAllSMs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := LatencyMatrix(dev, nil, 2)
+	m, err := LatencyMatrix(dev, nil, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,5 +370,116 @@ func TestSliceMapAddressForErrors(t *testing.T) {
 	}
 	if _, err := m.AddressFor(9); err == nil {
 		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestSMToSMLatencyMatrixValidatesInput(t *testing.T) {
+	dev := gpu.MustNew(gpu.H100())
+	if _, err := SMToSMLatencyMatrix(dev, 0, 0); err == nil {
+		t.Error("iters=0 should fail")
+	}
+	if _, err := SMToSMLatencyMatrix(dev, 0, -3); err == nil {
+		t.Error("negative iters should fail")
+	}
+}
+
+func TestSMToSMLatencyMatrixRejectsSingleSMCPCs(t *testing.T) {
+	// A speculative design with one SM per CPC cannot host the probe,
+	// which loads from the peer CPC's second SM; the old code indexed
+	// SMsOfCPC(...)[1] and panicked. It must now be a descriptive error.
+	cfg := gpu.H100()
+	cfg.SMsPerTPC = 1
+	cfg.CPCsPerGPC = 9
+	dev, err := gpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SMToSMLatencyMatrix(dev, 0, 4)
+	if err == nil {
+		t.Fatal("1 SM per CPC should fail, not panic")
+	}
+	if want := "needs at least 2 per CPC"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestRemoteSharedLoadErrorPropagates(t *testing.T) {
+	// A LoadRemoteShared failure inside the warp closure must fail the
+	// measurement; the old code ignored it and returned sum/iters, a
+	// silently deflated mean. A cross-GPC destination makes the load fail.
+	dev := gpu.MustNew(gpu.H100())
+	srcSM := dev.SMsOfGPC(0)[0]
+	dstSM := dev.SMsOfGPC(1)[0]
+	mean, err := remoteSharedMean(dev, srcSM, dstSM, 4)
+	if err == nil {
+		t.Fatalf("cross-GPC remote load returned mean %.1f, want error", mean)
+	}
+	if want := "remote-shared load"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestLatencyMatrixWorkerCountInvariant(t *testing.T) {
+	// The parallel runner's index-addressed slots make the matrix
+	// identical (not just statistically equivalent) for every pool size.
+	dev := v100(t)
+	sms := []int{0, 7, 40, 79}
+	seq, err := LatencyMatrix(dev, sms, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 16} {
+		par, err := LatencyMatrix(dev, sms, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			for j := range seq[i] {
+				if seq[i][j] != par[i][j] {
+					t.Fatalf("workers=%d: [%d][%d] = %v, want %v (sequential)", workers, i, j, par[i][j], seq[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPerSMAndPerSliceBandwidth(t *testing.T) {
+	eng := engine(t, gpu.V100())
+	sms := []int{0, 1, 41}
+	perSM, err := PerSMSliceBandwidth(eng, sms, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perSM) != len(sms) {
+		t.Fatalf("per-SM result length %d, want %d", len(perSM), len(sms))
+	}
+	for i, sm := range sms {
+		want, err := SliceBandwidth(eng, []int{sm}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perSM[i] != want {
+			t.Errorf("SM%d slot %d = %v, want sequential %v", sm, i, perSM[i], want)
+		}
+	}
+	slices := []int{0, 3, 5}
+	perSlice, err := PerSliceBandwidth(eng, 0, slices, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range slices {
+		want, err := SliceBandwidth(eng, []int{0}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perSlice[i] != want {
+			t.Errorf("slice %d slot %d = %v, want sequential %v", s, i, perSlice[i], want)
+		}
+	}
+	if _, err := PerSMSliceBandwidth(eng, nil, 0, 0); err == nil {
+		t.Error("empty SM set should fail")
+	}
+	if _, err := PerSliceBandwidth(eng, 0, nil, 0); err == nil {
+		t.Error("empty slice set should fail")
 	}
 }

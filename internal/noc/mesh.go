@@ -113,7 +113,20 @@ type fifo struct {
 func (f *fifo) empty() bool { return len(f.q) == 0 }
 func (f *fifo) full() bool  { return len(f.q) >= f.cap }
 func (f *fifo) head() *flit { return &f.q[0] }
-func (f *fifo) pop() flit   { h := f.q[0]; f.q = f.q[1:]; return h }
+
+// pop compacts the queue down instead of reslicing (f.q = f.q[1:]): a
+// reslice pins every popped flit's *Packet in the backing array and
+// shrinks the slice capacity, so each ~BufferFlits pushes forced append
+// to reallocate. Copy-down keeps the array at full capacity forever and
+// overwrites dropped packet pointers, making steady-state Step
+// allocation-free (see TestStepSteadyStateDoesNotAllocate).
+func (f *fifo) pop() flit {
+	h := f.q[0]
+	n := copy(f.q, f.q[1:])
+	f.q[n] = flit{} // drop the duplicated tail's *Packet reference
+	f.q = f.q[:n]
+	return h
+}
 func (f *fifo) push(x flit) { f.q = append(f.q, x) }
 
 type router struct {
@@ -141,8 +154,9 @@ type Mesh struct {
 	// AcceptedFlits counts flits delivered per destination node.
 	AcceptedFlits []int64
 
-	// move scratch buffers reused each cycle.
-	moves []move
+	// move/push scratch buffers reused each cycle.
+	moves  []move
+	pushes []pendingPush
 }
 
 type move struct {
@@ -150,6 +164,13 @@ type move struct {
 	to   *fifo // nil means ejection
 	r    *router
 	out  int
+}
+
+// pendingPush defers a flit's arrival until all pops of the cycle have
+// freed buffer space.
+type pendingPush struct {
+	to *fifo
+	f  flit
 }
 
 // NewMesh builds a mesh simulator.
@@ -305,11 +326,7 @@ func (m *Mesh) Step() {
 	}
 
 	// Phase 2: apply moves (pops before pushes keep capacity sound).
-	type push struct {
-		to *fifo
-		f  flit
-	}
-	pushes := make([]push, 0, len(m.moves))
+	m.pushes = m.pushes[:0]
 	for _, mv := range m.moves {
 		f := mv.from.pop()
 		if mv.to == nil {
@@ -318,17 +335,20 @@ func (m *Mesh) Step() {
 				m.AcceptedPackets[f.pkt.Src]++
 			}
 		} else {
-			pushes = append(pushes, push{to: mv.to, f: f})
+			m.pushes = append(m.pushes, pendingPush{to: mv.to, f: f})
 		}
 		if f.tail {
 			mv.r.outOwner[mv.out] = -1
 		}
 	}
-	for _, p := range pushes {
+	for _, p := range m.pushes {
 		p.to.push(p.f)
 	}
 
-	// Phase 3: source-queue injection into the local input port.
+	// Phase 3: source-queue injection into the local input port. The
+	// queue is compacted down like fifo.pop: reslicing q[1:] would pin
+	// drained packets and erode the append capacity of a queue that
+	// Inject refills every cycle.
 	for node, q := range m.injectQ {
 		if len(q) == 0 {
 			continue
@@ -338,7 +358,9 @@ func (m *Mesh) Step() {
 			continue
 		}
 		in.push(q[0])
-		m.injectQ[node] = q[1:]
+		n := copy(q, q[1:])
+		q[n] = flit{}
+		m.injectQ[node] = q[:n]
 	}
 	m.cycle++
 }

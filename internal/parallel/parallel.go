@@ -1,0 +1,121 @@
+// Package parallel is the repository's sanctioned concurrency runner: a
+// bounded worker pool whose results are index-addressed, so a sharded
+// sweep reduces in exactly the order a sequential loop would and its
+// output is byte-identical regardless of worker count or goroutine
+// scheduling.
+//
+// The design rules that make sharded sweeps deterministic:
+//
+//  1. Work is identified by index. Map(workers, n, fn) calls fn(i) for
+//     every i in [0, n) and stores fn's result in slot i of the result
+//     slice. No channel fan-in, no append from multiple goroutines —
+//     reduction order is the index order, decided before any goroutine
+//     starts.
+//  2. Errors are selected deterministically. When tasks fail, the error
+//     of the LOWEST index is returned — the same error a sequential loop
+//     would have stopped at — no matter which goroutine finished first.
+//  3. Cancellation is cooperative. After the first failure no NEW
+//     indices are dispatched; tasks already in flight run to completion
+//     (tasks share nothing, so there is nothing to interrupt safely).
+//
+// The noclint determinism analyzer enforces rule 1 globally: `go`
+// statements inside internal packages are flagged everywhere except
+// here, so every parallel sweep in the model flows through this runner.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the GOMAXPROCS-derived default pool size. The
+// nocchar -parallel N flag adjusts GOMAXPROCS, so the whole process —
+// experiment fan-out and inner sweeps alike — honours one knob.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// normalize clamps a requested worker count to [1, n] with the
+// GOMAXPROCS default for workers <= 0. n == 0 yields 0 (no pool).
+func normalize(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects DefaultWorkers) and returns the results in index
+// order. On failure it returns the error of the lowest failing index and
+// a nil slice; remaining indices are not dispatched once any task has
+// failed. fn must be safe for concurrent invocation with distinct
+// indices; results never pass through a channel, so output is identical
+// for every worker count.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	workers = normalize(workers, n)
+	if workers == 1 {
+		// Inline fast path: no goroutines, exact sequential semantics.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic error selection: the lowest failing index, exactly
+	// the error the sequential loop above would have returned.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// with Map's dispatch, cancellation, and error-selection semantics, for
+// tasks that write into caller-owned index-addressed storage.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

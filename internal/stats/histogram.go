@@ -31,8 +31,13 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 
 // HistogramOf builds a histogram spanning the sample range of xs with the
 // given number of bins and adds every sample. A degenerate (constant)
-// sample set yields a single fully-populated center bin range.
+// sample set yields a single fully-populated center bin range. An empty
+// sample set yields a valid, all-zero histogram over [0, 1] (Min/Max of
+// nothing are NaN, which would otherwise poison the bin bounds).
 func HistogramOf(xs []float64, bins int) *Histogram {
+	if len(xs) == 0 {
+		return NewHistogram(0, 1, bins)
+	}
 	lo, hi := Min(xs), Max(xs)
 	if lo == hi {
 		lo, hi = lo-0.5, hi+0.5

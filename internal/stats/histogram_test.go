@@ -188,3 +188,24 @@ func TestQuantilePropertyMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramOfEmpty(t *testing.T) {
+	h := HistogramOf(nil, 4)
+	if h.Lo != 0 || h.Hi != 1 {
+		t.Errorf("empty histogram spans [%g, %g], want [0, 1]", h.Lo, h.Hi)
+	}
+	if h.Total() != 0 {
+		t.Errorf("empty histogram total %d, want 0", h.Total())
+	}
+	if len(h.Counts) != 4 {
+		t.Errorf("empty histogram has %d bins, want 4", len(h.Counts))
+	}
+	for i, c := range h.Counts {
+		if c != 0 {
+			t.Errorf("bin %d count %d, want 0", i, c)
+		}
+	}
+	if h.Render(10) == "" {
+		t.Error("empty histogram should still render")
+	}
+}

@@ -52,10 +52,12 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(Variance(xs))
 }
 
-// Min returns the minimum of xs. It returns 0 for an empty slice.
+// Min returns the minimum of xs. An empty slice has no minimum: it
+// returns NaN, which poisons any arithmetic built on it rather than
+// silently posing as a plausible measurement the way the old 0 did.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -66,10 +68,11 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Max returns the maximum of xs. It returns 0 for an empty slice.
+// Max returns the maximum of xs. Like Min, it returns NaN for an empty
+// slice: no samples means no extremum, not a zero-valued one.
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -240,8 +243,15 @@ type Describe struct {
 	Max    float64
 }
 
-// Summarize computes a Describe over xs.
+// Summarize computes a Describe over xs. Over no samples every statistic
+// is undefined: the result has N = 0 and NaN in every field, so a summary
+// of a mistakenly-empty measurement renders as NaN instead of a
+// plausible-looking row of zeros.
 func Summarize(xs []float64) Describe {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Describe{N: 0, Mean: nan, StdDev: nan, Min: nan, Max: nan}
+	}
 	return Describe{
 		N:      len(xs),
 		Mean:   Mean(xs),

@@ -44,9 +44,10 @@ func TestMinMaxSum(t *testing.T) {
 	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
 		t.Errorf("Min/Max/Sum = %v/%v/%v", Min(xs), Max(xs), Sum(xs))
 	}
-	if Min(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
-		t.Error("empty-slice Min/Max/Sum should be 0")
+	if Sum(nil) != 0 {
+		t.Error("empty-slice Sum should be 0")
 	}
+	// Empty-slice Min/Max are NaN; see TestEmptySampleContract.
 }
 
 func TestPearsonPerfectCorrelation(t *testing.T) {
@@ -291,5 +292,28 @@ func TestSummarize(t *testing.T) {
 	}
 	if d.String() == "" {
 		t.Error("String should be nonempty")
+	}
+}
+
+func TestEmptySampleContract(t *testing.T) {
+	// No samples means no extremum or summary, not a zero-valued one:
+	// Min/Max/Summarize return NaN so an accidentally-empty measurement
+	// poisons downstream arithmetic instead of masquerading as data.
+	if !math.IsNaN(Min(nil)) {
+		t.Errorf("Min(nil) = %v, want NaN", Min(nil))
+	}
+	if !math.IsNaN(Max(nil)) {
+		t.Errorf("Max(nil) = %v, want NaN", Max(nil))
+	}
+	d := Summarize(nil)
+	if d.N != 0 {
+		t.Errorf("Summarize(nil).N = %d, want 0", d.N)
+	}
+	if !math.IsNaN(d.Mean) || !math.IsNaN(d.StdDev) || !math.IsNaN(d.Min) || !math.IsNaN(d.Max) {
+		t.Errorf("Summarize(nil) = %+v, want NaN fields", d)
+	}
+	// Mean/Variance keep their documented 0-for-empty behavior.
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Errorf("Mean(nil)=%v Variance(nil)=%v, want 0, 0", Mean(nil), Variance(nil))
 	}
 }
