@@ -26,16 +26,39 @@ go test -race ./...
 echo "==> nocchar -all parallel determinism smoke (race)"
 # The parallel runner must make pool size invisible: stdout of a full
 # quick sweep is byte-compared between one worker and a wide pool, with
-# the race detector watching the fan-out. Timings go to stderr.
+# the race detector watching the fan-out. Timings go to stderr. The
+# same sweeps collect metrics and traces, so the observability layer's
+# own determinism contract - files byte-identical across pool sizes,
+# stdout untouched by collection - is checked in the same pass.
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go build -race -o "$tmpdir/nocchar" ./cmd/nocchar
-"$tmpdir/nocchar" -gpu v100 -all -quick -parallel 1 >"$tmpdir/seq.out" 2>/dev/null
-"$tmpdir/nocchar" -gpu v100 -all -quick -parallel 8 >"$tmpdir/par.out" 2>/dev/null
+"$tmpdir/nocchar" -gpu v100 -all -quick -parallel 1 \
+	-metrics "$tmpdir/seq.metrics.json" -trace "$tmpdir/seq.trace.json" \
+	>"$tmpdir/seq.out" 2>/dev/null
+"$tmpdir/nocchar" -gpu v100 -all -quick -parallel 8 \
+	-metrics "$tmpdir/par.metrics.json" -trace "$tmpdir/par.trace.json" \
+	>"$tmpdir/par.out" 2>/dev/null
 if ! cmp -s "$tmpdir/seq.out" "$tmpdir/par.out"; then
 	echo "nocchar -all output differs between -parallel 1 and -parallel 8" >&2
 	diff "$tmpdir/seq.out" "$tmpdir/par.out" | head -20 >&2
 	exit 1
 fi
+"$tmpdir/nocchar" -gpu v100 -all -quick -parallel 8 >"$tmpdir/plain.out" 2>/dev/null
+if ! cmp -s "$tmpdir/seq.out" "$tmpdir/plain.out"; then
+	echo "nocchar -all stdout changes when -metrics/-trace are enabled" >&2
+	exit 1
+fi
+if ! cmp -s "$tmpdir/seq.metrics.json" "$tmpdir/par.metrics.json"; then
+	echo "nocchar -metrics output differs between -parallel 1 and -parallel 8" >&2
+	exit 1
+fi
+if ! cmp -s "$tmpdir/seq.trace.json" "$tmpdir/par.trace.json"; then
+	echo "nocchar -trace output differs between -parallel 1 and -parallel 8" >&2
+	exit 1
+fi
+
+echo "==> tracecheck (trace-event JSON validity)"
+go run ./cmd/tracecheck "$tmpdir/seq.trace.json"
 
 echo "==> all checks passed"

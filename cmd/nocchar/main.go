@@ -9,12 +9,19 @@
 //	nocchar -gpu a100 -exp fig12 -csv
 //	nocchar -gpu h100 -all
 //	nocchar -gpu h100 -all -parallel 8
+//	nocchar -gpu v100 -all -quick -metrics metrics.json -trace trace.json
 //	nocchar -observations
 //
 // -parallel N sizes the deterministic worker pool (default GOMAXPROCS):
 // experiments of an -all run and the row sweeps inside each experiment
 // fan out across it, with results landing in index-addressed slots, so
 // the output is byte-identical for every N.
+//
+// -metrics FILE dumps every simulator instrument (counters, gauges,
+// histograms) as sorted-key JSON; -trace FILE dumps the cycle-stamped
+// event trace as Chrome trace-event JSON (load it in chrome://tracing or
+// Perfetto). Both files are byte-identical across runs at a fixed seed
+// and across -parallel values, and neither flag changes stdout.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	"gpunoc/internal/core"
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
 	"gpunoc/internal/parallel"
 )
 
@@ -45,6 +53,8 @@ func main() {
 		report       = flag.String("report", "", "write a full Markdown report of every experiment to this file")
 		jsonOut      = flag.Bool("json", false, "emit artifacts as JSON")
 		workers      = flag.Int("parallel", 0, "worker-pool size for experiment fan-out and sweep sharding; 0 means GOMAXPROCS (output is byte-identical for every value)")
+		metricsOut   = flag.String("metrics", "", "write collected instruments (counters, gauges, histograms) as deterministic JSON to this file")
+		traceOut     = flag.String("trace", "", "write the cycle-stamped event trace as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -67,12 +77,12 @@ func main() {
 	}
 
 	if *observations {
-		obs, err := core.CheckObservations()
+		checks, err := core.CheckObservations()
 		if err != nil {
 			fatal(err)
 		}
 		failed := 0
-		for _, o := range obs {
+		for _, o := range checks {
 			status := "PASS"
 			if !o.Pass {
 				status = "FAIL"
@@ -111,15 +121,26 @@ func main() {
 		fatal(err)
 	}
 
+	// Collection is opt-in: without -metrics/-trace the registry stays
+	// nil, every hook is a nil-safe no-op, and stdout is byte-identical
+	// to an unobserved run.
+	var reg *obs.Registry
+	if *metricsOut != "" || *traceOut != "" {
+		reg = obs.New()
+	}
+
 	if *report != "" {
 		cfgs := []gpu.Config{cfg}
 		if *runAll {
 			cfgs = gpu.AllConfigs()
 		}
-		if err := writeReportFile(*report, cfgs, *quick, *workers); err != nil {
+		if err := writeReportFile(*report, cfgs, *quick, *workers, reg); err != nil {
 			fatal(err)
 		}
 		fmt.Println("report written to", *report)
+		if err := writeObsFiles(reg, *metricsOut, *traceOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -167,7 +188,15 @@ func main() {
 	t0 := time.Now()
 	results, err := parallel.Map(*workers, len(exps), func(i int) (outcome, error) {
 		start := time.Since(t0)
-		arts, err := exps[i].Run(ctx)
+		c := ctx
+		if reg != nil {
+			// Shallow-copy the shared context so each concurrent
+			// experiment observes into its own scope.
+			cc := *ctx
+			cc.Obs = reg.Scope(exps[i].ID)
+			c = &cc
+		}
+		arts, err := exps[i].Run(c)
 		return outcome{arts: arts, err: err, dur: time.Since(t0) - start}, nil
 	})
 	if err != nil {
@@ -204,12 +233,15 @@ func main() {
 			}
 		}
 	}
+	if err := writeObsFiles(reg, *metricsOut, *traceOut); err != nil {
+		fatal(err)
+	}
 }
 
 // writeReportFile writes the full Markdown report to path, surfacing
 // Close errors (a buffered flush can fail even when every write
 // succeeded).
-func writeReportFile(path string, cfgs []gpu.Config, quick bool, workers int) error {
+func writeReportFile(path string, cfgs []gpu.Config, quick bool, workers int, reg *obs.Registry) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -223,12 +255,45 @@ func writeReportFile(path string, cfgs []gpu.Config, quick bool, workers int) er
 		Now:       t0,
 		Workers:   workers,
 		Stopwatch: func() time.Duration { return time.Since(t0) },
+		Obs:       reg,
 	}
 	if err := core.WriteReportOptions(f, cfgs, opts); err != nil {
 		_ = f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// writeObsFiles dumps the collected instruments and trace to the paths
+// the user asked for; a nil registry or empty path is a no-op, and
+// nothing is printed to stdout so observed and unobserved runs stay
+// byte-comparable there.
+func writeObsFiles(reg *obs.Registry, metricsPath, tracePath string) error {
+	if reg == nil {
+		return nil
+	}
+	write := func(path string, emit func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "nocchar: wrote", path)
+		return nil
+	}
+	if err := write(metricsPath, func(f *os.File) error { return reg.WriteMetrics(f) }); err != nil {
+		return err
+	}
+	return write(tracePath, func(f *os.File) error { return reg.WriteTrace(f) })
 }
 
 func fatal(err error) {

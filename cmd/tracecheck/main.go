@@ -1,0 +1,104 @@
+// Command tracecheck validates a Chrome trace-event JSON file, such as
+// the one nocchar -trace writes: the file must parse as the trace-event
+// object form ({"traceEvents": [...]}), and every event must carry the
+// fields chrome://tracing and Perfetto require for its phase. CI runs it
+// over freshly generated traces so a malformed emitter fails the build
+// rather than a later manual load.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+//
+// Exits 0 and prints one summary line per file when every file is
+// valid; exits 1 with a diagnostic on the first violation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// traceFile is the object form of the trace-event format.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// traceEvent carries the fields tracecheck validates; unknown fields are
+// permitted (the format is open-ended).
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Pid  *int64          `json:"pid"`
+	Tid  *int64          `json:"tid"`
+	Dur  *float64        `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+// validPhases lists the phases the obs tracer emits; anything else in a
+// file we generated indicates emitter drift.
+var validPhases = map[string]bool{"M": true, "i": true, "C": true, "X": true}
+
+func checkFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return "", fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	pids := map[int64]bool{}
+	named := map[int64]bool{}
+	for i, e := range tf.TraceEvents {
+		where := fmt.Sprintf("%s: event %d (%q)", path, i, e.Name)
+		if e.Name == "" {
+			return "", fmt.Errorf("%s: missing name", where)
+		}
+		if !validPhases[e.Ph] {
+			return "", fmt.Errorf("%s: unexpected phase %q", where, e.Ph)
+		}
+		if e.Pid == nil {
+			return "", fmt.Errorf("%s: missing pid", where)
+		}
+		pids[*e.Pid] = true
+		if e.Ph == "M" {
+			// Metadata events name the process; everything else needs a
+			// timestamp and thread.
+			named[*e.Pid] = true
+			continue
+		}
+		if e.Ts == nil || *e.Ts < 0 {
+			return "", fmt.Errorf("%s: missing or negative ts", where)
+		}
+		if e.Tid == nil {
+			return "", fmt.Errorf("%s: missing tid", where)
+		}
+		if e.Ph == "X" && (e.Dur == nil || *e.Dur < 0) {
+			return "", fmt.Errorf("%s: complete event missing or negative dur", where)
+		}
+	}
+	for pid := range pids {
+		if !named[pid] {
+			return "", fmt.Errorf("%s: pid %d has no process_name metadata", path, pid)
+		}
+	}
+	return fmt.Sprintf("%s: ok (%d events, %d processes)", path, len(tf.TraceEvents), len(pids)), nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [more.json ...]")
+		os.Exit(1)
+	}
+	for _, path := range os.Args[1:] {
+		summary, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println(summary)
+	}
+}

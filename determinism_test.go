@@ -9,6 +9,7 @@ import (
 	"gpunoc"
 	"gpunoc/internal/core"
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
 )
 
 // TestNoCSimulationDeterminism runs the flit-level mesh sweep and the
@@ -87,6 +88,42 @@ func TestReportDeterminism(t *testing.T) {
 			}
 		}
 		t.Fatalf("report lengths differ: %d vs %d", len(first), len(second))
+	}
+}
+
+// TestReportObservedExtendsPlain proves metric collection is invisible
+// until asked for: a report rendered with a registry attached must be
+// the plain report byte-for-byte plus the metrics-summary footer, and
+// two observed renders must agree byte-for-byte (instrument values are
+// deterministic at fixed seeds). This is the report-level half of the
+// nocchar stdout byte-identity smoke in ci.sh.
+func TestReportObservedExtendsPlain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment several times")
+	}
+	fixed := time.Date(2024, 11, 2, 12, 0, 0, 0, time.UTC)
+	render := func(reg *obs.Registry) []byte {
+		var buf bytes.Buffer
+		opts := core.ReportOptions{Quick: true, Now: fixed, Obs: reg}
+		if err := core.WriteReportOptions(&buf, []gpu.Config{gpu.V100()}, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := render(nil)
+	observed := render(obs.New())
+	if !bytes.HasPrefix(observed, plain) {
+		t.Error("observed report does not extend the plain report byte-for-byte")
+	}
+	footer := observed[len(plain):]
+	if !bytes.Contains(footer, []byte("## Metrics summary")) {
+		t.Error("observed report lacks the metrics-summary footer")
+	}
+	if !bytes.Contains(footer, []byte("fig21/V100/narrow/mc/served")) {
+		t.Error("metrics footer lacks the fig21 MC served counter")
+	}
+	if again := render(obs.New()); !bytes.Equal(observed, again) {
+		t.Error("observed report differs between identically-seeded renders")
 	}
 }
 

@@ -61,6 +61,7 @@ func runExt1(ctx *Context) ([]Artifact, error) {
 	for _, arb := range []noc.Arbiter{noc.RoundRobin, noc.AgeBased} {
 		mcfg := noc.DefaultFairnessConfig(arb, 42)
 		mcfg.Cycles, mcfg.Warmup = cycles, warmup
+		mcfg.Obs = ctx.Obs.Scope("mesh-" + arb.String())
 		mesh, err := noc.RunFairness(mcfg)
 		if err != nil {
 			return nil, err
@@ -69,6 +70,7 @@ func runExt1(ctx *Context) ([]Artifact, error) {
 
 		xcfg := noc.DefaultXbarFairnessConfig(arb, 42)
 		xcfg.Cycles, xcfg.Warmup = cycles, warmup
+		xcfg.Obs = ctx.Obs.Scope("xbar-" + arb.String())
 		xbar, err := noc.RunXbarFairness(xcfg)
 		if err != nil {
 			return nil, err

@@ -99,10 +99,11 @@ func runFig1(ctx *Context) ([]Artifact, error) {
 	dev := ctx.Device
 	cfg := dev.Config()
 	iters := ctx.iters(16, 4)
+	b := microbench.NewBench(ctx.Obs)
 
 	// (a) one SM's latency to every slice, x-axis = profiler slice ID.
 	const probeSM = 24
-	profile, err := microbench.LatencyProfile(dev, probeSM, iters)
+	profile, err := b.LatencyProfile(dev, probeSM, iters)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +129,7 @@ func runFig1(ctx *Context) ([]Artifact, error) {
 			if ctx.Quick && sm > 2*cfg.GPCs {
 				continue
 			}
-			p, err := microbench.LatencyProfile(dev, sm, iters)
+			p, err := b.LatencyProfile(dev, sm, iters)
 			if err != nil {
 				return nil, err
 			}
@@ -147,11 +148,12 @@ func runFig1(ctx *Context) ([]Artifact, error) {
 func runFig2(ctx *Context) ([]Artifact, error) {
 	dev := ctx.Device
 	iters := ctx.iters(8, 2)
+	b := microbench.NewBench(ctx.Obs)
 	var arts []Artifact
 	for _, g := range []int{0, 2} {
 		var xs []float64
 		for _, sm := range dev.SMsOfGPC(g) {
-			p, err := microbench.LatencyProfile(dev, sm, iters)
+			p, err := b.LatencyProfile(dev, sm, iters)
 			if err != nil {
 				return nil, err
 			}
@@ -182,7 +184,8 @@ func runFig3(ctx *Context) ([]Artifact, error) {
 	}
 	// Build the reference ordering from the first SM: group by MP, sort
 	// within each group by its latency.
-	ref, err := microbench.LatencyProfile(dev, sms[0], iters)
+	b := microbench.NewBench(ctx.Obs)
+	ref, err := b.LatencyProfile(dev, sms[0], iters)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +205,7 @@ func runFig3(ctx *Context) ([]Artifact, error) {
 		ms.X[i] = float64(i)
 	}
 	for _, sm := range sms {
-		p, err := microbench.LatencyProfile(dev, sm, iters)
+		p, err := b.LatencyProfile(dev, sm, iters)
 		if err != nil {
 			return nil, err
 		}
@@ -231,6 +234,7 @@ func runFig5(ctx *Context) ([]Artifact, error) {
 		gpc = 0
 	}
 	mp := cfg.MPs / 2
+	b := microbench.NewBench(ctx.Obs)
 	hm := &Heatmap{Name: fmt.Sprintf("Fig 5: latency from GPC%d SMs to MP%d slices", gpc, mp)}
 	for _, s := range dev.SlicesOfMP(mp) {
 		hm.XLabels = append(hm.XLabels, fmt.Sprintf("s%d", s))
@@ -239,7 +243,7 @@ func runFig5(ctx *Context) ([]Artifact, error) {
 		hm.YLabels = append(hm.YLabels, fmt.Sprintf("SM%d", sm))
 		row := make([]float64, 0, cfg.SlicesPerMP())
 		for _, s := range dev.SlicesOfMP(mp) {
-			r, err := microbench.MeasureL2Latency(dev, sm, s, iters)
+			r, err := b.MeasureL2Latency(dev, sm, s, iters)
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +273,7 @@ func runFig6(ctx *Context) ([]Artifact, error) {
 			sms = append(sms, gsms[i*step])
 		}
 	}
-	m, err := microbench.CorrelationHeatmap(dev, sms, ctx.iters(8, 2), ctx.Workers)
+	m, err := microbench.NewBench(ctx.Obs).CorrelationHeatmap(dev, sms, ctx.iters(8, 2), ctx.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -304,11 +308,12 @@ func runFig8(ctx *Context) ([]Artifact, error) {
 	dev := ctx.Device
 	cfg := dev.Config()
 	iters := ctx.iters(4, 1)
-	hit, err := microbench.GPCToMPLatency(dev, 0, iters, ctx.Workers)
+	b := microbench.NewBench(ctx.Obs)
+	hit, err := b.GPCToMPLatency(dev, 0, iters, ctx.Workers)
 	if err != nil {
 		return nil, err
 	}
-	pen, err := microbench.GPCToMPMissPenalty(dev, 0, iters, ctx.Workers)
+	pen, err := b.GPCToMPMissPenalty(dev, 0, iters, ctx.Workers)
 	if err != nil {
 		return nil, err
 	}

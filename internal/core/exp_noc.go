@@ -51,12 +51,14 @@ func runFig21(ctx *Context) ([]Artifact, error) {
 		cfg.Cycles = 6000
 		cfg.Warmup = 1000
 	}
+	cfg.Obs = ctx.Obs.Scope("narrow")
 	narrow, err := noc.RunGPUSim(cfg)
 	if err != nil {
 		return nil, err
 	}
 	wideCfg := cfg
 	wideCfg.ReplyFlits = 1
+	wideCfg.Obs = ctx.Obs.Scope("wide")
 	wide, err := noc.RunGPUSim(wideCfg)
 	if err != nil {
 		return nil, err
@@ -110,6 +112,7 @@ func runFig23(ctx *Context) ([]Artifact, error) {
 			cfg.Cycles = 5000
 			cfg.Warmup = 1000
 		}
+		cfg.Obs = ctx.Obs.Scope(arb.String())
 		res, err := noc.RunFairness(cfg)
 		if err != nil {
 			return nil, err

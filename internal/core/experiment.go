@@ -6,6 +6,7 @@ import (
 
 	"gpunoc/internal/bandwidth"
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
 )
 
 // Context carries the resources an experiment needs.
@@ -22,6 +23,11 @@ type Context struct {
 	// default. Results are index-addressed, so any value yields
 	// byte-identical artifacts.
 	Workers int
+	// Obs receives the experiment's instruments. Callers that enable
+	// collection (nocchar -metrics/-trace, ReportOptions.Obs) hand each
+	// experiment run its own scope; the nil default runs unobserved at
+	// zero cost and leaves all stdout byte-identical.
+	Obs *obs.Registry
 }
 
 // NewContext builds a context for a generation config.

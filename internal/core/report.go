@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
 	"gpunoc/internal/parallel"
 )
 
@@ -26,6 +27,13 @@ type ReportOptions struct {
 	// closure) so this package never reads the clock itself and reports
 	// stay byte-comparable whenever Stopwatch is nil.
 	Stopwatch func() time.Duration
+	// Obs, when non-nil, collects simulator instruments during the run -
+	// each (experiment, generation) job observes into its own
+	// "<id>/<gpu>/" scope - and enables the metrics-summary footer. The
+	// instruments are atomic and rendered in sorted order, so the footer
+	// is byte-identical for every worker count. A nil Obs leaves the
+	// report bytes exactly as before.
+	Obs *obs.Registry
 }
 
 // WriteReport runs every experiment applicable to the given generations
@@ -85,7 +93,15 @@ func WriteReportOptions(w io.Writer, cfgs []gpu.Config, opts ReportOptions) erro
 		if opts.Stopwatch != nil {
 			start = opts.Stopwatch()
 		}
-		arts, err := j.e.Run(ctxs[j.cfg.Name])
+		ctx := ctxs[j.cfg.Name]
+		if opts.Obs != nil {
+			// Shallow-copy the shared context so each concurrent job
+			// observes into its own scope.
+			c := *ctx
+			c.Obs = opts.Obs.Scope(j.e.ID).Scope(string(j.cfg.Name))
+			ctx = &c
+		}
+		arts, err := j.e.Run(ctx)
 		o := outcome{arts: arts, err: err}
 		if opts.Stopwatch != nil {
 			o.dur = opts.Stopwatch() - start
@@ -124,16 +140,30 @@ func WriteReportOptions(w io.Writer, cfgs []gpu.Config, opts ReportOptions) erro
 
 	// Close with the observation checklist.
 	pw.printf("## Observations #1–#12\n\n")
-	obs, err := CheckObservations()
+	checks, err := CheckObservations()
 	if err != nil {
 		return err
 	}
-	for _, o := range obs {
+	for _, o := range checks {
 		mark := "x"
 		if !o.Pass {
 			mark = " "
 		}
 		pw.printf("- [%s] #%d %s — %s\n", mark, o.ID, o.Text, o.Detail)
+	}
+
+	// Metrics-summary footer, only when the caller enabled collection:
+	// the instrument values are deterministic at fixed seeds, so this
+	// section stays byte-comparable across runs and worker counts.
+	if opts.Obs != nil {
+		pw.printf("\n## Metrics summary\n\n")
+		rows := opts.Obs.SummaryRows()
+		if len(rows) == 0 {
+			pw.printf("_No instruments recorded._\n")
+		}
+		for _, r := range rows {
+			pw.printf("- %s: %s\n", r.Name, r.Value)
+		}
 	}
 
 	// Wall-time footer, only when the caller injected a clock: timings

@@ -17,6 +17,15 @@ import (
 // worker pool keeps reduction order independent of goroutine
 // scheduling; a bare goroutine anywhere else in the model invites
 // scheduling-order-dependent results.
+//
+// Inside the obs package - the one place instrument state leaves the
+// process - the analyzer additionally flags every range over a map
+// except the collect-then-sort idiom (append keys to a slice the
+// function hands to sort.*). Metrics and trace files promise to be
+// byte-identical run to run, and the orderedoutput analyzer's
+// heuristics (writer fed, returned slice built) are too narrow to
+// guard a promise that strong: any map-order walk in an emission path
+// is a bug there even when its output looks commutative today.
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
@@ -79,7 +88,82 @@ func runDeterminism(p *Package) []Diagnostic {
 		}
 		return true
 	})
+	if packageNamed(p, "obs") {
+		diags = append(diags, obsMapOrderDiags(p)...)
+	}
 	return diags
+}
+
+// packageNamed reports whether the package clause names the package
+// name (fixtures live under synthetic import paths, so the clause - not
+// the directory - is the identity that matters).
+func packageNamed(p *Package, name string) bool {
+	for _, f := range p.Files {
+		if f.Name != nil && f.Name.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// obsMapOrderDiags flags raw map iteration in the obs package. The one
+// sanctioned shape is collect-then-sort: a loop whose whole body
+// appends the key to a slice the function passes to a sort.* call.
+func obsMapOrderDiags(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			sorted := sortedIdents(p, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isCollectForSort(rng, sorted) {
+					return true
+				}
+				diags = append(diags, p.diag(rng.Pos(), "determinism",
+					"range over map in an obs emission path iterates in nondeterministic order; collect the keys, sort them, and iterate the sorted slice so metrics and traces stay byte-identical"))
+				return true
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// isCollectForSort recognizes the exempt idiom: the range body is the
+// single statement `xs = append(xs, k)` where xs reaches a sort.* call
+// in the same function.
+func isCollectForSort(rng *ast.RangeStmt, sorted map[string]bool) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	return ok && sorted[id.Name]
 }
 
 // packagePathOf resolves the package a selector's qualifier refers to,

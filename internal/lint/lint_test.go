@@ -91,6 +91,29 @@ func TestAnalyzerGoldens(t *testing.T) {
 	}
 }
 
+// TestDeterminismObsEmission proves the determinism analyzer's
+// obs-specific rule: raw map iteration in a package named obs is
+// flagged, and the collect-then-sort idiom (the shape the real emitters
+// use) is exempt. The fixture packages are both named obs - the rule
+// keys on the package clause, so it guards the real internal/obs
+// regardless of fixture directory layout.
+func TestDeterminismObsEmission(t *testing.T) {
+	a := analyzerByName(t, "determinism")
+
+	got := render(a.Run(loadFixture(t, filepath.Join("obsoutput", "bad"))))
+	wantBytes, err := os.ReadFile(filepath.Join("testdata", "src", "obsoutput", "expected.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("bad fixture diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	if diags := a.Run(loadFixture(t, filepath.Join("obsoutput", "clean"))); len(diags) != 0 {
+		t.Errorf("clean fixture produced findings:\n%s", render(diags))
+	}
+}
+
 // TestSuppression proves //lint:ignore drops a finding on the next
 // line, leaves others, and reports malformed directives.
 func TestSuppression(t *testing.T) {

@@ -28,17 +28,29 @@ const addressSearchLimit = 1 << 16
 // timing each round trip with the warp clock. The L2 is warmed before
 // timing so every access hits.
 func MeasureL2Latency(dev *gpu.Device, sm, slice, iters int) (LatencyResult, error) {
-	return measureLatency(dev, sm, slice, iters, false)
+	return defaultBench.MeasureL2Latency(dev, sm, slice, iters)
+}
+
+// MeasureL2Latency is the instrumented form of the package-level
+// function.
+func (b *Bench) MeasureL2Latency(dev *gpu.Device, sm, slice, iters int) (LatencyResult, error) {
+	return b.measureLatency(dev, sm, slice, iters, false)
 }
 
 // MeasureL2MissLatency is Algorithm 1 with a working set that always
 // misses in L2, so each timed access pays the home memory partition's
 // fill latency on top of the NoC round trip (the Fig. 8 bottom row).
 func MeasureL2MissLatency(dev *gpu.Device, sm, slice, iters int) (LatencyResult, error) {
-	return measureLatency(dev, sm, slice, iters, true)
+	return defaultBench.MeasureL2MissLatency(dev, sm, slice, iters)
 }
 
-func measureLatency(dev *gpu.Device, sm, slice, iters int, miss bool) (LatencyResult, error) {
+// MeasureL2MissLatency is the instrumented form of the package-level
+// function.
+func (b *Bench) MeasureL2MissLatency(dev *gpu.Device, sm, slice, iters int) (LatencyResult, error) {
+	return b.measureLatency(dev, sm, slice, iters, true)
+}
+
+func (b *Bench) measureLatency(dev *gpu.Device, sm, slice, iters int, miss bool) (LatencyResult, error) {
 	cfg := dev.Config()
 	if sm < 0 || sm >= cfg.SMs() {
 		return LatencyResult{}, fmt.Errorf("microbench: SM %d out of range", sm)
@@ -57,6 +69,8 @@ func measureLatency(dev *gpu.Device, sm, slice, iters int, miss bool) (LatencyRe
 	if err != nil {
 		return LatencyResult{}, err
 	}
+	b.measurements.Inc()
+	b.probes.Add(int64(iters))
 	samples := make([]float64, 0, iters)
 	// Algorithm 1 uses one thread of one warp: no coalescing, no
 	// contention from other lanes.
@@ -83,10 +97,15 @@ func measureLatency(dev *gpu.Device, sm, slice, iters int, miss bool) (LatencyRe
 // slice, the per-SM "profile" whose pairwise Pearson correlation drives
 // the placement analysis of Sec. III-B.
 func LatencyProfile(dev *gpu.Device, sm, iters int) ([]float64, error) {
+	return defaultBench.LatencyProfile(dev, sm, iters)
+}
+
+// LatencyProfile is the instrumented form of the package-level function.
+func (b *Bench) LatencyProfile(dev *gpu.Device, sm, iters int) ([]float64, error) {
 	cfg := dev.Config()
 	out := make([]float64, cfg.L2Slices)
 	for s := 0; s < cfg.L2Slices; s++ {
-		r, err := MeasureL2Latency(dev, sm, s, iters)
+		r, err := b.MeasureL2Latency(dev, sm, s, iters)
 		if err != nil {
 			return nil, err
 		}
@@ -103,6 +122,12 @@ func LatencyProfile(dev *gpu.Device, sm, iters int) ([]float64, error) {
 // shared *gpu.Device is immutable after construction, so rows race on
 // nothing.
 func LatencyMatrix(dev *gpu.Device, sms []int, iters, workers int) ([][]float64, error) {
+	return defaultBench.LatencyMatrix(dev, sms, iters, workers)
+}
+
+// LatencyMatrix is the instrumented form of the package-level function;
+// the bench's atomic counters aggregate correctly across row workers.
+func (b *Bench) LatencyMatrix(dev *gpu.Device, sms []int, iters, workers int) ([][]float64, error) {
 	if sms == nil {
 		cfg := dev.Config()
 		sms = make([]int, cfg.SMs())
@@ -111,7 +136,7 @@ func LatencyMatrix(dev *gpu.Device, sms []int, iters, workers int) ([][]float64,
 		}
 	}
 	return parallel.Map(workers, len(sms), func(i int) ([]float64, error) {
-		return LatencyProfile(dev, sms[i], iters)
+		return b.LatencyProfile(dev, sms[i], iters)
 	})
 }
 
@@ -119,7 +144,13 @@ func LatencyMatrix(dev *gpu.Device, sms []int, iters, workers int) ([][]float64,
 // latency profiles (Fig. 6), with profile rows measured in parallel.
 // sms selects the SMs; nil means all. workers <= 0 selects the default.
 func CorrelationHeatmap(dev *gpu.Device, sms []int, iters, workers int) ([][]float64, error) {
-	profiles, err := LatencyMatrix(dev, sms, iters, workers)
+	return defaultBench.CorrelationHeatmap(dev, sms, iters, workers)
+}
+
+// CorrelationHeatmap is the instrumented form of the package-level
+// function.
+func (b *Bench) CorrelationHeatmap(dev *gpu.Device, sms []int, iters, workers int) ([][]float64, error) {
+	profiles, err := b.LatencyMatrix(dev, sms, iters, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -203,6 +234,11 @@ func remoteSharedMean(dev *gpu.Device, srcSM, dstSM, iters int) (float64, error)
 // GPC to the slices of one MP (the Fig. 8 top row), indexed by GPC, with
 // one worker per GPC row. workers <= 0 selects the default.
 func GPCToMPLatency(dev *gpu.Device, mp, iters, workers int) ([]float64, error) {
+	return defaultBench.GPCToMPLatency(dev, mp, iters, workers)
+}
+
+// GPCToMPLatency is the instrumented form of the package-level function.
+func (b *Bench) GPCToMPLatency(dev *gpu.Device, mp, iters, workers int) ([]float64, error) {
 	cfg := dev.Config()
 	if mp < 0 || mp >= cfg.MPs {
 		return nil, fmt.Errorf("microbench: MP %d out of range", mp)
@@ -211,7 +247,7 @@ func GPCToMPLatency(dev *gpu.Device, mp, iters, workers int) ([]float64, error) 
 		var xs []float64
 		for _, sm := range dev.SMsOfGPC(g) {
 			for _, s := range dev.SlicesOfMP(mp) {
-				r, err := MeasureL2Latency(dev, sm, s, iters)
+				r, err := b.MeasureL2Latency(dev, sm, s, iters)
 				if err != nil {
 					return 0, err
 				}
@@ -227,6 +263,12 @@ func GPCToMPLatency(dev *gpu.Device, mp, iters, workers int) ([]float64, error) 
 // (the Fig. 8 bottom row), with one worker per GPC row. workers <= 0
 // selects the default.
 func GPCToMPMissPenalty(dev *gpu.Device, mp, iters, workers int) ([]float64, error) {
+	return defaultBench.GPCToMPMissPenalty(dev, mp, iters, workers)
+}
+
+// GPCToMPMissPenalty is the instrumented form of the package-level
+// function.
+func (b *Bench) GPCToMPMissPenalty(dev *gpu.Device, mp, iters, workers int) ([]float64, error) {
 	cfg := dev.Config()
 	if mp < 0 || mp >= cfg.MPs {
 		return nil, fmt.Errorf("microbench: MP %d out of range", mp)
@@ -235,11 +277,11 @@ func GPCToMPMissPenalty(dev *gpu.Device, mp, iters, workers int) ([]float64, err
 		var xs []float64
 		for _, sm := range dev.SMsOfGPC(g) {
 			for _, s := range dev.SlicesOfMP(mp) {
-				hit, err := MeasureL2Latency(dev, sm, s, iters)
+				hit, err := b.MeasureL2Latency(dev, sm, s, iters)
 				if err != nil {
 					return 0, err
 				}
-				miss, err := MeasureL2MissLatency(dev, sm, s, iters)
+				miss, err := b.MeasureL2MissLatency(dev, sm, s, iters)
 				if err != nil {
 					return 0, err
 				}

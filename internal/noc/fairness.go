@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"gpunoc/internal/obs"
 )
 
 // FairnessConfig sets up the Fig. 23 experiment: a Width x Height mesh
@@ -27,6 +29,8 @@ type FairnessConfig struct {
 	Warmup int
 	// Seed drives the random destination choice.
 	Seed int64
+	// Obs receives the mesh's instruments; nil runs unobserved.
+	Obs *obs.Registry
 }
 
 // FairnessResult reports per-compute-node accepted throughput.
@@ -54,6 +58,7 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Observe(cfg.Obs)
 	mcs := cfg.MCs
 	if len(mcs) == 0 {
 		for x := 0; x < cfg.Mesh.Width; x++ {

@@ -3,6 +3,8 @@ package noc
 import (
 	"fmt"
 	"math/rand"
+
+	"gpunoc/internal/obs"
 )
 
 // GPUSimConfig sets up the Fig. 20/21 study: the many-to-few-to-many GPU
@@ -16,6 +18,9 @@ type GPUSimConfig struct {
 	Mesh MeshConfig
 	// MCs lists memory-controller nodes; empty means the bottom row.
 	MCs []int
+	// RequestFlits is the read-request packet size; zero means the
+	// historical single-flit request.
+	RequestFlits int
 	// ReplyFlits is the reply packet size (cache line / channel width).
 	ReplyFlits int
 	// MCServiceCycles is the DRAM service time per request; the memory
@@ -32,6 +37,10 @@ type GPUSimConfig struct {
 	UtilWindow int
 	// Seed drives random destination selection.
 	Seed int64
+	// Obs receives the simulation's instruments (request/reply mesh
+	// scopes plus MC queue occupancy, DRAM busy, and reply-backpressure
+	// counters); nil runs unobserved at zero cost.
+	Obs *obs.Registry
 }
 
 // DefaultGPUSimConfig mirrors the throughput-effective-NoC style baseline:
@@ -73,6 +82,12 @@ type mcState struct {
 	node     int
 	queue    []*Packet
 	queueCap int
+	// admitted is the packet whose head flit was granted queue headroom
+	// and whose remaining flits are still draining into the sink.
+	admitted *Packet
+	// blocked marks an MC currently stalled on reply-side backpressure,
+	// so the tracer records transitions rather than every stalled cycle.
+	blocked bool
 	// busyUntil is the cycle the in-flight DRAM access completes.
 	busyUntil int64
 	// pendingReply holds a serviced request whose reply could not yet be
@@ -82,14 +97,37 @@ type mcState struct {
 	served       int64
 }
 
+// popRequest dequeues the oldest pending request. It compacts the queue
+// down instead of reslicing: q = q[1:] would pin the popped *Packet in
+// the backing array and erode append capacity, forcing a reallocation
+// every few pops (the fifo.pop pattern).
+func (mc *mcState) popRequest() *Packet {
+	req := mc.queue[0]
+	n := copy(mc.queue, mc.queue[1:])
+	mc.queue[n] = nil
+	mc.queue = mc.queue[:n]
+	return req
+}
+
+// Accept admits or refuses one flit of a request packet. The admission
+// decision is made at the head flit: once the head is accepted the rest
+// of the packet must drain, because wormhole output ownership means a
+// half-consumed packet would hold the local port forever if the tail
+// were refused. Headroom checked at the head still holds at the tail -
+// only Accept grows the queue, the port is owned head-to-tail so no
+// other packet can interleave, and servicing only frees slots.
 func (mc *mcState) Accept(p *Packet, lastFlit bool, _ int64) bool {
-	if !lastFlit {
-		return true
+	if p != mc.admitted {
+		// Head flit: admit only with queue headroom.
+		if len(mc.queue) >= mc.queueCap {
+			return false
+		}
+		mc.admitted = p
 	}
-	if len(mc.queue) >= mc.queueCap {
-		return false
+	if lastFlit {
+		mc.queue = append(mc.queue, p)
+		mc.admitted = nil
 	}
-	mc.queue = append(mc.queue, p)
 	return true
 }
 
@@ -97,6 +135,13 @@ func (mc *mcState) Accept(p *Packet, lastFlit bool, _ int64) bool {
 func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 	if cfg.ReplyFlits <= 0 || cfg.MCServiceCycles <= 0 || cfg.MCQueue <= 0 || cfg.WindowPerCompute <= 0 {
 		return nil, fmt.Errorf("noc: invalid GPU sim parameters %+v", cfg)
+	}
+	reqFlits := cfg.RequestFlits
+	if reqFlits == 0 {
+		reqFlits = 1
+	}
+	if reqFlits < 0 {
+		return nil, fmt.Errorf("noc: invalid GPU sim request flits %d", reqFlits)
 	}
 	if cfg.Cycles <= 0 || cfg.UtilWindow <= 0 {
 		return nil, fmt.Errorf("noc: invalid GPU sim measurement window")
@@ -144,6 +189,20 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 		}))
 	}
 
+	// Instruments: both meshes report under their own sub-scopes; the MC
+	// bridge exports queue occupancy, DRAM busy, reply backpressure, and
+	// served-request counts. With cfg.Obs nil every instrument is a
+	// nil-safe no-op, so the unobserved loop is identical and
+	// allocation-free.
+	reqNet.Observe(cfg.Obs.Scope("req"))
+	repNet.Observe(cfg.Obs.Scope("rep"))
+	mcObs := cfg.Obs.Scope("mc")
+	mcQueueDepth := mcObs.Histogram("queue_depth", obs.DepthBounds())
+	mcBusy := mcObs.Counter("busy_cycles")
+	mcBackpressure := mcObs.Counter("reply_backpressure")
+	mcServed := mcObs.Counter("served")
+	mcTracer := mcObs.Tracer()
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &GPUSimResult{}
 	var busyTotal, replyInjectTotal int64
@@ -154,9 +213,9 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 		measuring := c >= cfg.Warmup
 		// Compute nodes issue requests up to their window.
 		for _, n := range compute {
-			for outstanding[n] < cfg.WindowPerCompute && reqNet.PendingInjection(n) < 4 {
+			for outstanding[n] < cfg.WindowPerCompute && reqNet.PendingInjection(n) < 4*reqFlits {
 				dst := mcs[rng.Intn(len(mcs))]
-				if _, err := reqNet.Inject(n, dst, 1, n); err != nil {
+				if _, err := reqNet.Inject(n, dst, reqFlits, n); err != nil {
 					return nil, err
 				}
 				outstanding[n]++
@@ -171,6 +230,7 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 		// run.
 		for _, n := range mcs {
 			st := mcStates[n]
+			mcQueueDepth.Observe(int64(len(st.queue)))
 			// Try to flush a reply whose DRAM access completed but whose
 			// injection is blocked by the reply-network interface.
 			if st.pendingReply != nil && cycle >= st.busyUntil {
@@ -184,19 +244,33 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 					}
 					st.pendingReply = nil
 					st.served++
+					mcServed.Inc()
+					if st.blocked {
+						// Backpressure released: the reply finally left.
+						st.blocked = false
+						mcTracer.Instant("mc", "reply_unblocked", cycle, int64(st.node), 0)
+					}
+				} else {
+					// Reply-side backpressure stalls the memory channel.
+					mcBackpressure.Inc()
+					if !st.blocked {
+						st.blocked = true
+						mcTracer.Instant("mc", "reply_blocked", cycle, int64(st.node),
+							int64(repNet.PendingInjection(st.node)))
+					}
 				}
 			}
 			busy := cycle < st.busyUntil
 			if !busy && st.pendingReply == nil && len(st.queue) > 0 {
 				// Start servicing the next request.
-				req := st.queue[0]
-				st.queue = st.queue[1:]
+				req := st.popRequest()
 				st.busyUntil = cycle + int64(cfg.MCServiceCycles)
 				st.pendingReply = req
 				busy = true
 			}
 			if busy {
 				busyNow++
+				mcBusy.Inc()
 				if measuring {
 					busyTotal++
 					st.busyCycles++
@@ -217,6 +291,15 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 
 	for _, n := range mcs {
 		res.RequestsServed += mcStates[n].served
+	}
+	if cfg.Obs.Enabled() {
+		// Final per-MC state, one gauge each (construction cost only
+		// paid when observed).
+		for _, n := range mcs {
+			st := mcStates[n]
+			mcObs.Gauge(fmt.Sprintf("n%03d/final_queue_depth", st.node)).Set(int64(len(st.queue)))
+			mcObs.Gauge(fmt.Sprintf("n%03d/served", st.node)).Set(st.served)
+		}
 	}
 	denom := float64(cfg.Cycles * len(mcs))
 	res.MemUtilization = float64(busyTotal) / denom

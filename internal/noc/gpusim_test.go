@@ -1,0 +1,110 @@
+package noc
+
+import "testing"
+
+// The MC service path used to reslice st.queue[1:], pinning every
+// serviced request's *Packet in the backing array and eroding append
+// capacity so steady-state servicing reallocated every ~queueCap pops.
+// This drives the exact Accept/popRequest cadence RunGPUSim runs per
+// cycle and demands zero allocations once warmed.
+func TestMCQueueSteadyStateDoesNotAllocate(t *testing.T) {
+	st := &mcState{queueCap: 16}
+	p := &Packet{ID: 1, Flits: 1}
+	// Warm up: grow the queue's backing array to its working size.
+	for i := 0; i < st.queueCap; i++ {
+		if !st.Accept(p, true, 0) {
+			t.Fatal("warm-up enqueue refused below capacity")
+		}
+	}
+	for len(st.queue) > 0 {
+		st.popRequest()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if !st.Accept(p, true, 0) {
+			t.Fatal("steady-state enqueue refused")
+		}
+		if st.popRequest() != p {
+			t.Fatal("popped wrong request")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state MC enqueue/service allocates %.1f per request, want 0", avg)
+	}
+}
+
+// Admission is decided at the head flit. The old Accept admitted every
+// non-tail flit unconditionally and only refused at the tail when the
+// queue was full - a multi-flit request would be half-consumed, wedging
+// the wormhole with the tail refused forever.
+func TestMCAcceptRefusesAtHeadFlit(t *testing.T) {
+	st := &mcState{queueCap: 1}
+	a := &Packet{ID: 1, Flits: 2}
+	if !st.Accept(a, false, 0) {
+		t.Fatal("head flit refused with queue headroom")
+	}
+	if !st.Accept(a, true, 0) {
+		t.Fatal("tail flit refused after head was admitted")
+	}
+	if len(st.queue) != 1 {
+		t.Fatalf("queued %d packets, want 1", len(st.queue))
+	}
+	// Queue is now full: the next packet must be refused at its HEAD,
+	// before any flit is consumed (the old code accepted it here).
+	b := &Packet{ID: 2, Flits: 2}
+	if st.Accept(b, false, 0) {
+		t.Fatal("head flit admitted with no queue headroom; tail would wedge")
+	}
+	// Drain one request; the refused packet's head retries and lands.
+	st.popRequest()
+	if !st.Accept(b, false, 0) || !st.Accept(b, true, 0) {
+		t.Fatal("retried packet refused after headroom opened")
+	}
+}
+
+// End-to-end wedge check: with multi-flit requests, the old tail-refusal
+// Accept would half-consume a request at a full MC and hold the local
+// output forever - the sim would serve almost nothing. Head-flit
+// admission must keep the pipeline flowing.
+func TestGPUSimMultiFlitRequestsDoNotWedge(t *testing.T) {
+	cfg := DefaultGPUSimConfig(1)
+	cfg.RequestFlits = 3
+	// Slow DRAM so MC queues actually back up and refusals happen.
+	cfg.MCServiceCycles = 4
+	cfg.Cycles = 6000
+	cfg.Warmup = 1000
+	res, err := RunGPUSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wedged sim serves at most a few queue-fills' worth of requests
+	// (~6 MCs x 16 queue). A flowing one serves thousands.
+	if res.RequestsServed < 1000 {
+		t.Errorf("served only %d multi-flit requests; wormhole looks wedged", res.RequestsServed)
+	}
+	if res.MemUtilization <= 0 {
+		t.Errorf("memory utilization %.3f; MCs never worked", res.MemUtilization)
+	}
+}
+
+// RequestFlits is new; zero keeps the historical single-flit behaviour
+// byte-for-byte, and negatives are rejected.
+func TestGPUSimRequestFlitsDefaults(t *testing.T) {
+	a, err := RunGPUSim(DefaultGPUSimConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := DefaultGPUSimConfig(7)
+	explicit.RequestFlits = 1
+	b, err := RunGPUSim(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RequestsServed != b.RequestsServed || a.MemUtilization != b.MemUtilization {
+		t.Errorf("RequestFlits=1 diverged from default: %+v vs %+v", a, b)
+	}
+	bad := DefaultGPUSimConfig(7)
+	bad.RequestFlits = -1
+	if _, err := RunGPUSim(bad); err == nil {
+		t.Error("negative request flits should fail")
+	}
+}

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"gpunoc/internal/obs"
 	"gpunoc/internal/units"
 
 	"fmt"
@@ -15,14 +16,18 @@ import (
 // is where that saturation point is read off.
 
 // latencySink counts delivered packets and accumulates their network
-// latency (delivery cycle minus creation cycle).
+// latency (delivery cycle minus creation cycle). Only packets created at
+// or after measureFrom count: a packet injected during warm-up but
+// delivered during measurement carries warm-up queueing in its latency,
+// which biased the mean upward near saturation where queues are deepest.
 type latencySink struct {
-	packets    int64
-	latencySum int64
+	measureFrom int64
+	packets     int64
+	latencySum  int64
 }
 
 func (s *latencySink) Accept(p *Packet, lastFlit bool, cycle int64) bool {
-	if lastFlit {
+	if lastFlit && p.CreatedAt >= s.measureFrom {
 		s.packets++
 		s.latencySum += cycle - p.CreatedAt
 	}
@@ -48,6 +53,9 @@ type LoadLatencyConfig struct {
 	Cycles      int
 	Warmup      int
 	Seed        int64
+	// Obs receives one mesh instrument scope per swept rate; nil runs
+	// unobserved.
+	Obs *obs.Registry
 }
 
 // DefaultLoadLatencyConfig sweeps the Fig. 23 topology across offered
@@ -80,6 +88,7 @@ func RunLoadLatency(cfg LoadLatencyConfig) ([]LoadPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.Observe(cfg.Obs.Scope(fmt.Sprintf("rate%.2f", rate)))
 		var mcs []int
 		for x := 0; x < cfg.Mesh.Width; x++ {
 			mcs = append(mcs, m.NodeAt(x, cfg.Mesh.Height-1))
@@ -87,7 +96,7 @@ func RunLoadLatency(cfg LoadLatencyConfig) ([]LoadPoint, error) {
 		sinks := make([]*latencySink, len(mcs))
 		isMC := map[int]bool{}
 		for i, n := range mcs {
-			sinks[i] = &latencySink{}
+			sinks[i] = &latencySink{measureFrom: int64(cfg.Warmup)}
 			m.SetSink(n, sinks[i])
 			isMC[n] = true
 		}
@@ -114,17 +123,10 @@ func RunLoadLatency(cfg LoadLatencyConfig) ([]LoadPoint, error) {
 			m.Step()
 			return nil
 		}
-		for c := 0; c < cfg.Warmup; c++ {
-			if err := step(); err != nil {
-				return nil, err
-			}
-		}
-		var basePkts, baseLat int64
-		for _, s := range sinks {
-			basePkts += s.packets
-			baseLat += s.latencySum
-		}
-		for c := 0; c < cfg.Cycles; c++ {
+		// The sinks themselves ignore warm-up-created packets (see
+		// latencySink), so no baseline subtraction is needed: everything
+		// they record belongs to the measurement interval.
+		for c := 0; c < cfg.Warmup+cfg.Cycles; c++ {
 			if err := step(); err != nil {
 				return nil, err
 			}
@@ -134,8 +136,6 @@ func RunLoadLatency(cfg LoadLatencyConfig) ([]LoadPoint, error) {
 			pkts += s.packets
 			lat += s.latencySum
 		}
-		pkts -= basePkts
-		lat -= baseLat
 		pt := LoadPoint{OfferedRate: rate}
 		if pkts > 0 {
 			pt.AcceptedRate = float64(pkts) / float64(cfg.Cycles) / float64(len(compute))

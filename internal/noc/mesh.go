@@ -11,6 +11,8 @@ package noc
 import (
 	"fmt"
 	"math"
+
+	"gpunoc/internal/obs"
 )
 
 // Arbiter selects among competing packets at a router output.
@@ -157,6 +159,60 @@ type Mesh struct {
 	// move/push scratch buffers reused each cycle.
 	moves  []move
 	pushes []pendingPush
+
+	// obs is the optional instrument set; see Observe. All instruments
+	// are nil-safe no-ops while unobserved, so the hooks below cost a
+	// nil check and zero allocations in the disabled default (guarded
+	// by TestStepSteadyStateDoesNotAllocate / BenchmarkMeshStep).
+	obs meshObs
+}
+
+// meshObs gathers the mesh's instruments. buffered tracks the running
+// router-FIFO occupancy in flits: injection pushes and ejection pops are
+// the only net changes per cycle (internal hops pop and push the same
+// flit), so two touch points keep an exact count without walking FIFOs.
+type meshObs struct {
+	// linkFlits[node*numPorts+out] counts flits forwarded over each
+	// inter-router link; nil while unobserved (and for edge/local ports).
+	linkFlits   []*obs.Counter
+	ejectFlits  *obs.Counter
+	ejectPkts   *obs.Counter
+	stallSink   *obs.Counter
+	stallCredit *obs.Counter
+	occupancy   *obs.Histogram
+	tracer      *obs.Tracer
+	buffered    int64
+}
+
+// portNames names router ports for instrument naming.
+var portNames = [numPorts]string{"local", "north", "east", "south", "west"}
+
+// Observe attaches the mesh's instruments to a registry scope: per-link
+// forwarded-flit counters, ejected flit/packet counters, stall-cause
+// counters (sink refusal vs. exhausted downstream credit), a per-cycle
+// buffer-occupancy histogram, and per-packet delivery spans on the
+// scope's tracer. Call it once before running; Observe(nil) leaves the
+// mesh unobserved (the zero-cost default).
+func (m *Mesh) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.obs.ejectFlits = reg.Counter("eject/flits")
+	m.obs.ejectPkts = reg.Counter("eject/packets")
+	m.obs.stallSink = reg.Counter("stall/sink")
+	m.obs.stallCredit = reg.Counter("stall/credit")
+	m.obs.occupancy = reg.Histogram("buffer_occupancy", obs.DepthBounds())
+	m.obs.tracer = reg.Tracer()
+	m.obs.linkFlits = make([]*obs.Counter, m.Nodes()*numPorts)
+	for node := 0; node < m.Nodes(); node++ {
+		for out := portNorth; out <= portWest; out++ {
+			if _, _, ok := m.neighbor(node, out); !ok {
+				continue
+			}
+			m.obs.linkFlits[node*numPorts+out] = reg.Counter(
+				fmt.Sprintf("link/n%03d/%s/flits", node, portNames[out]))
+		}
+	}
 }
 
 type move struct {
@@ -306,6 +362,7 @@ func (m *Mesh) Step() {
 			if out == portLocal {
 				// Ejection: ask the sink.
 				if !m.sinks[r.node].Accept(f.pkt, f.tail, m.cycle) {
+					m.obs.stallSink.Inc()
 					continue
 				}
 				m.commitGrant(r, out, in, f)
@@ -318,6 +375,7 @@ func (m *Mesh) Step() {
 			}
 			df := &m.routers[next].in[inPort]
 			if df.full() {
+				m.obs.stallCredit.Inc()
 				continue
 			}
 			m.commitGrant(r, out, in, f)
@@ -331,11 +389,19 @@ func (m *Mesh) Step() {
 		f := mv.from.pop()
 		if mv.to == nil {
 			m.AcceptedFlits[mv.r.node]++
+			m.obs.ejectFlits.Inc()
+			m.obs.buffered--
 			if f.tail {
 				m.AcceptedPackets[f.pkt.Src]++
+				m.obs.ejectPkts.Inc()
+				m.obs.tracer.Span("noc", "pkt",
+					f.pkt.CreatedAt, m.cycle-f.pkt.CreatedAt, int64(f.pkt.Src), int64(f.pkt.ID))
 			}
 		} else {
 			m.pushes = append(m.pushes, pendingPush{to: mv.to, f: f})
+			if m.obs.linkFlits != nil {
+				m.obs.linkFlits[mv.r.node*numPorts+mv.out].Inc()
+			}
 		}
 		if f.tail {
 			mv.r.outOwner[mv.out] = -1
@@ -358,10 +424,12 @@ func (m *Mesh) Step() {
 			continue
 		}
 		in.push(q[0])
+		m.obs.buffered++
 		n := copy(q, q[1:])
 		q[n] = flit{}
 		m.injectQ[node] = q[:n]
 	}
+	m.obs.occupancy.Observe(m.obs.buffered)
 	m.cycle++
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"gpunoc/internal/obs"
 )
 
 // XbarConfig describes a two-level hierarchical crossbar, the organization
@@ -71,6 +73,48 @@ type Xbar struct {
 	AcceptedPackets []int64
 	// AcceptedFlits counts flits delivered per memory port.
 	AcceptedFlits []int64
+
+	// obs is the optional instrument set; see Observe. All instruments
+	// are nil-safe no-ops while unobserved, so the hooks in Step cost a
+	// nil check and zero allocations in the disabled default (guarded
+	// by TestXbarStepSteadyStateDoesNotAllocate / BenchmarkXbarStep).
+	obs xbarObs
+}
+
+// xbarObs gathers the crossbar's instruments. voqFlits tracks the
+// running total VOQ occupancy: hub pulls and port drains are its only
+// net changes per cycle.
+type xbarObs struct {
+	// portGrants[port] counts flits each memory port granted.
+	portGrants []*obs.Counter
+	// hubForwards[cluster] counts flits each hub pulled into its VOQs.
+	hubForwards []*obs.Counter
+	stallVOQ    *obs.Counter
+	voqDepth    *obs.Histogram
+	tracer      *obs.Tracer
+	voqFlits    int64
+}
+
+// Observe attaches the crossbar's instruments to a registry scope:
+// per-port grant counters, per-hub forward counters, a VOQ-full stall
+// counter, a per-cycle total-VOQ-occupancy histogram, and per-packet
+// delivery spans on the scope's tracer. Call it once before running;
+// Observe(nil) leaves the crossbar unobserved (the zero-cost default).
+func (x *Xbar) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	x.obs.stallVOQ = reg.Counter("stall/voq_full")
+	x.obs.voqDepth = reg.Histogram("voq_occupancy", obs.DepthBounds())
+	x.obs.tracer = reg.Tracer()
+	x.obs.portGrants = make([]*obs.Counter, x.cfg.MemPorts)
+	for p := range x.obs.portGrants {
+		x.obs.portGrants[p] = reg.Counter(fmt.Sprintf("port/p%02d/grants", p))
+	}
+	x.obs.hubForwards = make([]*obs.Counter, x.cfg.Clusters)
+	for c := range x.obs.hubForwards {
+		x.obs.hubForwards[c] = reg.Counter(fmt.Sprintf("hub/c%02d/forwards", c))
+	}
 }
 
 // NewXbar builds a crossbar simulator.
@@ -136,12 +180,24 @@ func (x *Xbar) Step() {
 			if hub < 0 {
 				break
 			}
+			// Pop by compacting down: q = q[1:] would pin the drained
+			// flit's *Packet in the backing array and erode append
+			// capacity, reallocating every few cycles (the fifo.pop
+			// pattern).
 			q := x.voq[hub][port]
 			f := q[0]
-			x.voq[hub][port] = q[1:]
+			n := copy(q, q[1:])
+			q[n] = xbarFlit{}
+			x.voq[hub][port] = q[:n]
 			x.AcceptedFlits[port]++
+			x.obs.voqFlits--
+			if x.obs.portGrants != nil {
+				x.obs.portGrants[port].Inc()
+			}
 			if f.tail {
 				x.AcceptedPackets[f.pkt.Src]++
+				x.obs.tracer.Span("xbar", "pkt",
+					f.pkt.CreatedAt, x.cycle-f.pkt.CreatedAt, int64(f.pkt.Src), int64(f.pkt.ID))
 			}
 		}
 	}
@@ -159,11 +215,19 @@ func (x *Xbar) Step() {
 				}
 				dst := q[0].pkt.Dst
 				if len(x.voq[c][dst]) >= x.cfg.VOQDepth {
+					x.obs.stallVOQ.Inc()
 					continue
 				}
 				x.voq[c][dst] = append(x.voq[c][dst], q[0])
-				x.injectQ[node] = q[1:]
+				// Same compaction as the port drain above.
+				n := copy(q, q[1:])
+				q[n] = xbarFlit{}
+				x.injectQ[node] = q[:n]
 				x.rrNode[c] = node - base
+				x.obs.voqFlits++
+				if x.obs.hubForwards != nil {
+					x.obs.hubForwards[c].Inc()
+				}
 				moved = true
 				break
 			}
@@ -172,6 +236,7 @@ func (x *Xbar) Step() {
 			}
 		}
 	}
+	x.obs.voqDepth.Observe(x.obs.voqFlits)
 	x.cycle++
 }
 
@@ -234,6 +299,8 @@ type XbarFairnessConfig struct {
 	Cycles      int
 	Warmup      int
 	Seed        int64
+	// Obs receives the crossbar's instruments; nil runs unobserved.
+	Obs *obs.Registry
 }
 
 // DefaultXbarFairnessConfig matches the Fig. 23 setup's scale: 30 compute
@@ -264,6 +331,7 @@ func RunXbarFairness(cfg XbarFairnessConfig) (*FairnessResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	x.Observe(cfg.Obs)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	topUp := func() {
 		for node := 0; node < x.Nodes(); node++ {

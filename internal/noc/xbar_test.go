@@ -188,3 +188,53 @@ func TestRunXbarFairnessValidation(t *testing.T) {
 		t.Error("bad topology should fail")
 	}
 }
+
+// The VOQ drain and source-queue pull used to reslice q[1:], pinning
+// every forwarded flit's *Packet in the backing array and eroding append
+// capacity so the per-cycle hot path of the ext1 crossbar experiment
+// reallocated continuously. Warmed-up Step must allocate nothing.
+func TestXbarStepSteadyStateDoesNotAllocate(t *testing.T) {
+	x, err := NewXbar(DefaultXbarFairnessConfig(RoundRobin, 1).Xbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source queues deep enough to keep every hub and port busy through
+	// warm-up plus the whole measurement (ports drain 6 flits/cycle).
+	n := x.Nodes()
+	for node := 0; node < n; node++ {
+		for k := 0; k < 100; k++ {
+			if _, err := x.Inject(node, (node+k)%x.cfg.MemPorts, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	x.Run(100) // warm up: grow queue backing arrays to steady-state size
+	avg := testing.AllocsPerRun(200, func() { x.Step() })
+	if avg != 0 {
+		t.Errorf("steady-state Xbar.Step allocates %.1f times per cycle, want 0", avg)
+	}
+	if x.Drained() {
+		t.Fatal("xbar drained mid-measurement; the test no longer exercises steady state")
+	}
+}
+
+func BenchmarkXbarStep(b *testing.B) {
+	x, err := NewXbar(DefaultXbarFairnessConfig(RoundRobin, 1).Xbar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := x.Nodes()
+	rng := rand.New(rand.NewSource(1))
+	// Ports drain up to 6 flits/cycle; keep the queues fed for b.N cycles.
+	for i := 0; i < b.N+1000; i++ {
+		if _, err := x.Inject(rng.Intn(n), rng.Intn(x.cfg.MemPorts), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	x.Run(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Step()
+	}
+}
