@@ -61,4 +61,50 @@ fi
 echo "==> tracecheck (trace-event JSON validity)"
 go run ./cmd/tracecheck "$tmpdir/seq.trace.json"
 
+echo "==> nocserve cache smoke (race)"
+# Start the server on an ephemeral port, fetch the same figure twice,
+# and check three contracts: the two responses are byte-identical, the
+# second was a cache hit (via /metricz), and the body matches what the
+# CLI prints for the same tuple (`nocchar -json` stdout minus its
+# three-line experiment header). Then SIGTERM must drain cleanly.
+go build -race -o "$tmpdir/nocserve" ./cmd/nocserve
+"$tmpdir/nocserve" -addr 127.0.0.1:0 2>"$tmpdir/serve.log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 1 100); do
+	grep -q "listening on" "$tmpdir/serve.log" && break
+	sleep 0.1
+done
+port=$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/serve.log")
+if [ -z "$port" ]; then
+	echo "nocserve did not report a listening address:" >&2
+	cat "$tmpdir/serve.log" >&2
+	exit 1
+fi
+base="http://127.0.0.1:$port"
+curl -sf "$base/v1/v100/fig1?quick=1" >"$tmpdir/serve1.json"
+curl -sf "$base/v1/v100/fig1?quick=1" >"$tmpdir/serve2.json"
+if ! cmp -s "$tmpdir/serve1.json" "$tmpdir/serve2.json"; then
+	echo "nocserve served different bytes for the same key" >&2
+	exit 1
+fi
+if ! curl -sf "$base/metricz" | grep -q '"resultstore/hit": 1'; then
+	echo "second nocserve fetch was not a cache hit" >&2
+	curl -sf "$base/metricz" >&2 || true
+	exit 1
+fi
+"$tmpdir/nocchar" -gpu v100 -exp fig1 -quick -json 2>/dev/null | tail -n +4 >"$tmpdir/cli.json"
+if ! cmp -s "$tmpdir/serve1.json" "$tmpdir/cli.json"; then
+	echo "nocserve response differs from nocchar -json output" >&2
+	diff "$tmpdir/serve1.json" "$tmpdir/cli.json" | head -20 >&2
+	exit 1
+fi
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+if ! grep -q "drained" "$tmpdir/serve.log"; then
+	echo "nocserve did not drain on SIGTERM:" >&2
+	cat "$tmpdir/serve.log" >&2
+	exit 1
+fi
+
 echo "==> all checks passed"

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+// validateFlags rejects flag combinations whose precedence used to be
+// silently undefined: -csv and -json name two different renderings of
+// the same artifacts, and -exp with -all both try to choose the
+// experiment set. A long-lived consumer (scripts, the nocserve cache
+// warmers) must get a loud non-zero exit, not whichever flag the switch
+// statement happened to test first.
+func validateFlags(csv, json, all bool, exp string) error {
+	if csv && json {
+		return errors.New("-csv and -json are mutually exclusive: pick one output encoding")
+	}
+	if all && exp != "" {
+		return fmt.Errorf("-all and -exp %q are mutually exclusive: -all runs every experiment, -exp runs one", exp)
+	}
+	return nil
+}

@@ -58,6 +58,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*csv, *jsonOut, *runAll, *expID); err != nil {
+		fatal(err)
+	}
+
 	if *workers > 0 {
 		// One knob drives both levels of parallelism: the explicit pool
 		// arguments below and parallel.DefaultWorkers(), which reads
@@ -176,14 +180,16 @@ func main() {
 			fatal(err)
 		}
 	}
-	// Fan the experiments out across the pool; artifacts land in
+	// Fan the experiments out across the pool; results land in
 	// index-addressed slots and are printed below in registry order, so
 	// stdout is byte-identical to a sequential run. Wall times go to
-	// stderr to keep it that way.
+	// stderr to keep it that way. The same core.RunResult path backs the
+	// nocserve cache, whose responses are therefore byte-identical to
+	// this stdout (the renderers are shared, not reimplemented).
 	type outcome struct {
-		arts []core.Artifact
-		err  error
-		dur  time.Duration
+		res *core.Result
+		err error
+		dur time.Duration
 	}
 	t0 := time.Now()
 	results, err := parallel.Map(*workers, len(exps), func(i int) (outcome, error) {
@@ -196,8 +202,8 @@ func main() {
 			cc.Obs = reg.Scope(exps[i].ID)
 			c = &cc
 		}
-		arts, err := exps[i].Run(c)
-		return outcome{arts: arts, err: err, dur: time.Since(t0) - start}, nil
+		res, err := core.RunResult(c, exps[i])
+		return outcome{res: res, err: err, dur: time.Since(t0) - start}, nil
 	})
 	if err != nil {
 		fatal(err)
@@ -205,27 +211,27 @@ func main() {
 	for i, e := range exps {
 		fmt.Printf("=== %s: %s [%s]\n", e.ID, e.Title, cfg.Name)
 		fmt.Printf("    paper: %s\n\n", e.Paper)
-		arts, runErr := results[i].arts, results[i].err
+		res, runErr := results[i].res, results[i].err
 		fmt.Fprintf(os.Stderr, "nocchar: %s wall time %s\n", e.ID, results[i].dur.Round(time.Millisecond))
 		if runErr != nil {
 			fmt.Fprintf(os.Stderr, "    error: %v\n\n", runErr)
 			continue
 		}
-		if *jsonOut {
-			data, err := core.MarshalArtifacts(arts)
+		switch {
+		case *jsonOut:
+			data, err := res.JSONBytes()
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Println(string(data))
+			mustWrite(os.Stdout.Write(data))
 			continue
+		case *csv:
+			mustWrite(os.Stdout.Write(res.CSVBytes()))
+		default:
+			mustWrite(os.Stdout.Write(res.TextBytes()))
 		}
-		for i, a := range arts {
-			if *csv {
-				fmt.Printf("# %s\n%s\n", a.Title(), a.CSV())
-			} else {
-				fmt.Println(a.Render())
-			}
-			if *outDir != "" {
+		if *outDir != "" {
+			for i, a := range res.Artifacts {
 				name := fmt.Sprintf("%s_%s_%d.csv", e.ID, strings.ToLower(string(cfg.Name)), i)
 				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(a.CSV()), 0o644); err != nil {
 					fatal(err)
@@ -294,6 +300,14 @@ func writeObsFiles(reg *obs.Registry, metricsPath, tracePath string) error {
 		return err
 	}
 	return write(tracePath, func(f *os.File) error { return reg.WriteTrace(f) })
+}
+
+// mustWrite surfaces stdout write failures (a closed pipe, a full disk
+// behind a redirect) as a fatal exit instead of silently truncating.
+func mustWrite(_ int, err error) {
+	if err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,150 @@
+// Command nocserve serves the characterization suite's experiment
+// artifacts over HTTP, backed by a content-addressed result cache so
+// each deterministic (gpu, experiment, quick) tuple is simulated at
+// most once no matter how many clients ask.
+//
+// Usage:
+//
+//	nocserve -addr 127.0.0.1:8080
+//	nocserve -addr :8080 -cache-bytes 268435456 -spill /var/cache/nocserve
+//	nocserve -prewarm quick -parallel 8
+//
+// Endpoints:
+//
+//	GET /v1                         list every servable (gpu, exp) pair
+//	GET /v1/{gpu}/{exp}             the experiment's artifacts
+//	    ?format=json|csv|text|md    response rendering (default json)
+//	    ?quick=1                    quick-mode run (nocchar -quick)
+//	GET /metricz                    instruments as sorted-key JSON
+//	GET /healthz                    liveness probe
+//
+// Response bodies are byte-identical to the corresponding nocchar
+// stdout: format=json matches `nocchar -gpu G -exp E -json` (minus the
+// CLI's three-line header), csv matches -csv, text the default mode.
+// The X-Cache response header reports how the request was satisfied:
+// miss (this request simulated), hit (memory), coalesced (shared an
+// in-flight simulation), or spill (loaded from the -spill directory).
+//
+// -prewarm quick|full simulates the whole supported (gpu, experiment)
+// matrix in the background at startup on the internal/parallel pool, so
+// first requests hit a warm cache. -drain bounds how long shutdown
+// waits for in-flight simulations after SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpunoc/internal/core"
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
+	"gpunoc/internal/parallel"
+	"gpunoc/internal/resultstore"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "in-memory result-cache budget in bytes; <= 0 means unbounded")
+		spillDir   = flag.String("spill", "", "directory for the disk spill; empty disables it")
+		prewarm    = flag.String("prewarm", "", "pre-simulate the supported (gpu, exp) matrix in the background: quick, full, or empty to disable")
+		workers    = flag.Int("parallel", 0, "worker-pool size for each simulation's sweeps and the prewarm fan-out; 0 means GOMAXPROCS")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
+	)
+	flag.Parse()
+	if *prewarm != "" && *prewarm != "quick" && *prewarm != "full" {
+		fatal(fmt.Errorf("-prewarm must be quick, full, or empty (got %q)", *prewarm))
+	}
+
+	reg := obs.New()
+	t0 := time.Now()
+	store, err := resultstore.New(resultstore.Options{
+		Compute:  newComputer(*workers),
+		MaxBytes: *cacheBytes,
+		SpillDir: *spillDir,
+		Obs:      reg.Scope("resultstore"),
+		Clock:    func() time.Duration { return time.Since(t0) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: newServer(store, reg).handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The resolved address (with the real port when -addr asked for :0)
+	// goes to stderr so scripts can scrape it; stdout stays silent.
+	fmt.Fprintf(os.Stderr, "nocserve: listening on %s\n", ln.Addr())
+
+	if *prewarm != "" {
+		go prewarmMatrix(store, *prewarm == "quick", *workers)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		// Serve only returns on listener failure here; Shutdown's
+		// ErrServerClosed cannot arrive before a signal.
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "nocserve: shutting down, draining for up to %s\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(fmt.Errorf("shutdown: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "nocserve: drained")
+}
+
+// prewarmMatrix simulates every supported (gpu, exp) pair once on the
+// deterministic parallel pool, populating the cache (and spill) before
+// traffic arrives. Requests racing a prewarm of the same key coalesce
+// onto it rather than simulating twice.
+func prewarmMatrix(store *resultstore.Store, quick bool, workers int) {
+	type pair struct {
+		gpu gpu.Generation
+		exp string
+	}
+	var pairs []pair
+	for _, cfg := range gpu.AllConfigs() {
+		for _, e := range core.All() {
+			if e.SupportsGPU(cfg.Name) {
+				pairs = append(pairs, pair{gpu: cfg.Name, exp: e.ID})
+			}
+		}
+	}
+	err := parallel.ForEach(workers, len(pairs), func(i int) error {
+		key := resultstore.Key{GPU: pairs[i].gpu, Exp: pairs[i].exp, Quick: quick}
+		if _, _, err := store.Get(key); err != nil {
+			return fmt.Errorf("prewarm %s: %w", key, err)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocserve:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "nocserve: prewarmed %d results (quick=%v)\n", len(pairs), quick)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocserve:", err)
+	os.Exit(1)
+}

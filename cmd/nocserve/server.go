@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gpunoc/internal/core"
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
+	"gpunoc/internal/resultstore"
+)
+
+// newComputer builds the store's cold-key path: one full experiment run
+// through the same core.RunResult pipeline cmd/nocchar prints from, so
+// every served byte is the CLI's byte. workers sizes each simulation's
+// internal sweep pool.
+func newComputer(workers int) func(resultstore.Key) (*resultstore.Entry, error) {
+	return func(key resultstore.Key) (*resultstore.Entry, error) {
+		cfg, err := gpu.ByName(string(key.GPU))
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.Lookup(key.Exp)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := core.NewContext(cfg, key.Quick)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Workers = workers
+		res, err := core.RunResult(ctx, e)
+		if err != nil {
+			return nil, err
+		}
+		return entryFromResult(res)
+	}
+}
+
+// entryFromResult pre-renders every serving format once, at compute
+// time, so a warm key answers any format without re-rendering.
+func entryFromResult(res *core.Result) (*resultstore.Entry, error) {
+	jsonBytes, err := res.JSONBytes()
+	if err != nil {
+		return nil, err
+	}
+	return &resultstore.Entry{
+		JSON:     jsonBytes,
+		CSV:      res.CSVBytes(),
+		Text:     res.TextBytes(),
+		Markdown: res.MarkdownBytes(),
+	}, nil
+}
+
+// server is the HTTP serving layer over one result store.
+type server struct {
+	store *resultstore.Store
+	// reg is the root registry /metricz renders; the store scopes itself
+	// under "resultstore/", the handler under "http/".
+	reg *obs.Registry
+
+	requests  *obs.Counter
+	errors    *obs.Counter
+	latencyMS *obs.Histogram
+}
+
+// newServer wires a server over a store and registry (both required by
+// main; tests may pass a stub store and a fresh registry).
+func newServer(store *resultstore.Store, reg *obs.Registry) *server {
+	h := reg.Scope("http")
+	return &server{
+		store:     store,
+		reg:       reg,
+		requests:  h.Counter("requests"),
+		errors:    h.Counter("errors"),
+		latencyMS: h.Histogram("latency_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
+	}
+}
+
+// handler returns the route table. Result URLs are
+// GET /v1/{gpu}/{exp}?format=json|csv|text|md&quick=1.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/{$}", s.handleList)
+	mux.HandleFunc("GET /v1/{gpu}/{exp}", s.timed(s.handleResult))
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// timed wraps a result handler with the request counter and the
+// wall-latency histogram (cache hits land in the bottom bucket, cold
+// full-fidelity simulations in the top ones).
+func (s *server) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		start := time.Now()
+		h(w, r)
+		s.latencyMS.Observe(time.Since(start).Milliseconds())
+	}
+}
+
+// contentTypes maps the format query value to the served media type.
+var contentTypes = map[string]string{
+	"json": "application/json",
+	"csv":  "text/csv; charset=utf-8",
+	"text": "text/plain; charset=utf-8",
+	"md":   "text/markdown; charset=utf-8",
+}
+
+// handleResult serves one (gpu, exp, quick) tuple in the requested
+// format. The tuple is validated before it can reach the store, so a
+// bad URL costs a map lookup, never a simulation slot.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	cfg, err := gpu.ByName(r.PathValue("gpu"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	e, err := core.Lookup(r.PathValue("exp"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	if !e.SupportsGPU(cfg.Name) {
+		s.fail(w, http.StatusNotFound,
+			fmt.Errorf("experiment %s does not apply to %s (supported: %v)", e.ID, cfg.Name, e.GPUs))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	ctype, ok := contentTypes[format]
+	if !ok {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want json, csv, text, or md)", format))
+		return
+	}
+	quick := r.URL.Query().Get("quick") == "1"
+
+	entry, outcome, err := s.store.Get(resultstore.Key{GPU: cfg.Name, Exp: e.ID, Quick: quick})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	var body []byte
+	switch format {
+	case "json":
+		body = entry.JSON
+	case "csv":
+		body = entry.CSV
+	case "text":
+		body = entry.Text
+	case "md":
+		body = entry.Markdown
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("X-Cache", outcome.String())
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	_, _ = w.Write(body)
+}
+
+// listedExperiment is one row of the /v1 index.
+type listedExperiment struct {
+	GPU   string `json:"gpu"`
+	Exp   string `json:"exp"`
+	Title string `json:"title"`
+	URL   string `json:"url"`
+}
+
+// handleList enumerates every servable (gpu, exp) pair in registry
+// order — the same supported-pair filter the CLI's -all mode applies.
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	var rows []listedExperiment
+	for _, cfg := range gpu.AllConfigs() {
+		for _, e := range core.All() {
+			if !e.SupportsGPU(cfg.Name) {
+				continue
+			}
+			name := string(cfg.Name)
+			rows = append(rows, listedExperiment{
+				GPU:   name,
+				Exp:   e.ID,
+				Title: e.Title,
+				URL:   fmt.Sprintf("/v1/%s/%s", name, e.ID),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, rows)
+}
+
+// handleMetricz renders every instrument — the store's cache counters,
+// the HTTP layer's, and each simulation's own scope — as the same
+// sorted-key JSON document `nocchar -metrics` writes.
+func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteMetrics(w); err != nil {
+		s.errors.Inc()
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprintln(w, "ok")
+}
+
+// writeJSON indents v onto the response; encode failures surface as a
+// 500 because nothing has been written yet.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("nocserve: %v", err), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(append(data, '\n'))
+}
+
+// fail writes a plain-text error body and counts it.
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	s.errors.Inc()
+	http.Error(w, fmt.Sprintf("nocserve: %v", err), status)
+}

@@ -131,6 +131,11 @@ func (c *Cache) Access(addr uint64) (hit bool) {
 		c.sets[set] = append(lines, line{tag: tag, sectorValid: bit, lastUse: c.clock})
 		return false
 	}
+	// Deterministic victim selection: strictly-less keeps the lowest
+	// index when two lines tie on lastUse, so replaying the same access
+	// stream always evicts the same way (ties cannot arise through
+	// Access, whose clock is strictly monotonic, but the invariant must
+	// survive refactors that batch or snapshot timestamps).
 	victim := 0
 	for i := 1; i < len(lines); i++ {
 		if lines[i].lastUse < lines[victim].lastUse {

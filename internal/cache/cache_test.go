@@ -172,3 +172,42 @@ func TestPropertyAccounting(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLRUEvictionTieBreak constructs an exact lastUse tie — impossible
+// through Access, whose clock is strictly monotonic, but reachable by
+// any future refactor that batches or snapshots timestamps — and demands
+// the victim be the lowest-indexed tied line. Eviction order is part of
+// the simulator's determinism contract: a tie broken by position in a
+// Go map or by scan direction would make replays diverge.
+func TestLRUEvictionTieBreak(t *testing.T) {
+	c, err := New(Config{SizeBytes: 2 * 128 * 4, LineBytes: 128, SectorBytes: 32, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill set 0 by hand with a tie between ways 1 and 2 for the oldest
+	// timestamp; way 0 and 3 are younger.
+	c.sets[0] = []line{
+		{tag: 10, sectorValid: 1, lastUse: 9},
+		{tag: 11, sectorValid: 1, lastUse: 3},
+		{tag: 12, sectorValid: 1, lastUse: 3},
+		{tag: 13, sectorValid: 1, lastUse: 7},
+	}
+	c.clock = 9
+
+	// The next allocation in set 0 must evict way 1 (tag 11): the lowest
+	// index among the lastUse ties.
+	newTag := uint64(42)
+	addr := newTag * uint64(c.setCount) << c.lineShift // maps to set 0
+	if hit := c.Access(addr); hit {
+		t.Fatal("expected a miss for a fresh tag")
+	}
+	if got := c.sets[0][1].tag; got != newTag {
+		t.Errorf("way 1 holds tag %d, want the new tag %d (lowest-index tie eviction)", got, newTag)
+	}
+	if got := c.sets[0][2].tag; got != 12 {
+		t.Errorf("way 2 holds tag %d, want the surviving tied line 12", got)
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions)
+	}
+}

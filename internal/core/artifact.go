@@ -201,6 +201,9 @@ func (h *Heatmap) Render() string {
 		lo, hi = math.Inf(1), math.Inf(-1)
 		for _, row := range h.Values {
 			for _, v := range row {
+				if math.IsNaN(v) {
+					continue
+				}
 				lo = math.Min(lo, v)
 				hi = math.Max(hi, v)
 			}
@@ -228,6 +231,12 @@ func (h *Heatmap) Render() string {
 		}
 		fmt.Fprintf(&b, "%-*s |", labelW, label)
 		for _, v := range row {
+			if math.IsNaN(v) {
+				// Undefined cells (e.g. a Pearson pair with a constant
+				// series) render distinctly from every real shade.
+				b.WriteString("??")
+				continue
+			}
 			f := (v - lo) / span
 			if f < 0 {
 				f = 0

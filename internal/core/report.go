@@ -101,8 +101,11 @@ func WriteReportOptions(w io.Writer, cfgs []gpu.Config, opts ReportOptions) erro
 			c.Obs = opts.Obs.Scope(j.e.ID).Scope(string(j.cfg.Name))
 			ctx = &c
 		}
-		arts, err := j.e.Run(ctx)
-		o := outcome{arts: arts, err: err}
+		res, err := RunResult(ctx, j.e)
+		o := outcome{err: err}
+		if err == nil {
+			o.arts = res.Artifacts
+		}
 		if opts.Stopwatch != nil {
 			o.dur = opts.Stopwatch() - start
 		}

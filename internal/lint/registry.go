@@ -13,14 +13,17 @@ import (
 // RegistryAnalyzer enforces experiment-registry completeness for
 // packages holding exp_*.go files (internal/core and its fixtures):
 // every Experiment composite literal must be passed to register() (so it
-// reaches All() and the CLI), IDs must be unique, and every registered
-// ID must be mentioned in the nearest EXPERIMENTS.md. Doc matching
-// tolerates humanized forms: "fig12" matches "Fig 12", "Figure 12" or
-// "fig12"; "table1" matches "Table I" (roman numerals) or "Table 1".
+// reaches All() and the CLI), IDs must be unique, every registered
+// entry must set a Run function (an entry without one is dead weight:
+// nocchar -all cannot execute it and nocserve cannot serve it), and
+// every registered ID must be mentioned in the nearest EXPERIMENTS.md.
+// Doc matching tolerates humanized forms: "fig12" matches "Fig 12",
+// "Figure 12" or "fig12"; "table1" matches "Table I" (roman numerals)
+// or "Table 1".
 func RegistryAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "registry",
-		Doc:  "flag unregistered experiment constructors and IDs missing from EXPERIMENTS.md",
+		Doc:  "flag unregistered experiment constructors, unservable entries, and IDs missing from EXPERIMENTS.md",
 		Run:  runRegistry,
 	}
 }
@@ -28,8 +31,9 @@ func RegistryAnalyzer() *Analyzer {
 func runRegistry(p *Package) []Diagnostic {
 	var diags []Diagnostic
 	type reg struct {
-		id  string
-		pos ast.Node
+		id     string
+		pos    ast.Node
+		hasRun bool
 	}
 	var registered []reg
 	sawExpFile := false
@@ -70,7 +74,7 @@ func runRegistry(p *Package) []Diagnostic {
 				return true
 			}
 			if inRegister[cl] {
-				registered = append(registered, reg{id: id, pos: cl})
+				registered = append(registered, reg{id: id, pos: cl, hasRun: experimentHasRun(cl)})
 			} else {
 				diags = append(diags, p.diag(cl.Pos(), "registry",
 					"experiment %q is constructed but never passed to register(); it will not appear in All()", id))
@@ -89,6 +93,10 @@ func runRegistry(p *Package) []Diagnostic {
 				"experiment ID %q registered more than once", r.id))
 		}
 		seen[r.id] = true
+		if !r.hasRun {
+			diags = append(diags, p.diag(r.pos.Pos(), "registry",
+				"experiment %q is registered without a Run function; nocchar and nocserve cannot execute it", r.id))
+		}
 	}
 
 	docPath, doc, err := findExperimentsDoc(p.Dir, p.ModuleRoot)
@@ -134,6 +142,24 @@ func experimentID(cl *ast.CompositeLit) string {
 		return strings.Trim(lit.Value, `"`)
 	}
 	return ""
+}
+
+// experimentHasRun reports whether the literal sets a non-nil Run
+// field — the servability requirement for registered experiments.
+func experimentHasRun(cl *ast.CompositeLit) bool {
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Run" {
+			if v, ok := kv.Value.(*ast.Ident); ok && v.Name == "nil" {
+				return false
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // findExperimentsDoc walks from dir up to the module root looking for

@@ -1,24 +1,29 @@
 // Package bad exercises the registry analyzer: an unregistered
-// constructor, a duplicate ID, and a registered experiment missing from
-// EXPERIMENTS.md (which sits next to this package).
+// constructor, a duplicate ID, a registered experiment missing from
+// EXPERIMENTS.md (which sits next to this package), and a registered
+// experiment with no Run function (unservable).
 package bad
 
 // Experiment mirrors the core registry entry shape.
 type Experiment struct {
 	ID    string
 	Title string
+	Run   func()
 }
 
 var registry = map[string]*Experiment{}
 
 func register(e *Experiment) { registry[e.ID] = e }
 
+func runStub() {}
+
 func init() {
-	register(&Experiment{ID: "fig1", Title: "registered and documented"})
-	register(&Experiment{ID: "fig2", Title: "registered but missing from the doc"})
-	register(&Experiment{ID: "table1", Title: "documented as a roman numeral"})
-	register(&Experiment{ID: "fig1", Title: "duplicate ID"})
+	register(&Experiment{ID: "fig1", Title: "registered and documented", Run: runStub})
+	register(&Experiment{ID: "fig2", Title: "registered but missing from the doc", Run: runStub})
+	register(&Experiment{ID: "table1", Title: "documented as a roman numeral", Run: runStub})
+	register(&Experiment{ID: "fig1", Title: "duplicate ID", Run: runStub})
+	register(&Experiment{ID: "fig3", Title: "documented, but with no Run function"})
 }
 
 // orphan never reaches the registry, so All() will not return it.
-var orphan = &Experiment{ID: "fig9", Title: "constructed but never registered"}
+var orphan = &Experiment{ID: "fig9", Title: "constructed but never registered", Run: runStub}

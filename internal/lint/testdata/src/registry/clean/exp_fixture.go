@@ -1,20 +1,23 @@
-// Package clean registers every constructed experiment and documents
-// each ID in the sibling EXPERIMENTS.md.
+// Package clean registers every constructed experiment with a Run
+// function and documents each ID in the sibling EXPERIMENTS.md.
 package clean
 
 // Experiment mirrors the core registry entry shape.
 type Experiment struct {
 	ID    string
 	Title string
+	Run   func()
 }
 
 var registry = map[string]*Experiment{}
 
 func register(e *Experiment) { registry[e.ID] = e }
 
+func runStub() {}
+
 func init() {
-	register(&Experiment{ID: "table1", Title: "documented as Table I"})
-	register(&Experiment{ID: "fig1", Title: "documented as Fig 1"})
-	register(&Experiment{ID: "fig12", Title: "documented as Figure 12"})
-	register(&Experiment{ID: "ext1", Title: "documented literally"})
+	register(&Experiment{ID: "table1", Title: "documented as Table I", Run: runStub})
+	register(&Experiment{ID: "fig1", Title: "documented as Fig 1", Run: runStub})
+	register(&Experiment{ID: "fig12", Title: "documented as Figure 12", Run: runStub})
+	register(&Experiment{ID: "ext1", Title: "documented literally", Run: runStub})
 }

@@ -86,12 +86,16 @@ func (p *Profiler) SliceCounts() ([]uint64, error) {
 // HottestSlice returns the slice with the highest count, or an error in
 // aggregated mode or when no accesses were recorded. It is the primitive
 // the paper's V100 methodology uses: access one address repeatedly and ask
-// the profiler which slice's counter moved.
+// the profiler which slice's counter moved. Count ties resolve to the
+// lowest slice index, deterministically.
 func (p *Profiler) HottestSlice() (int, error) {
 	counts, err := p.SliceCounts()
 	if err != nil {
 		return 0, err
 	}
+	// Deterministic argmax: strictly-greater keeps the lowest slice
+	// index when two slices tie on count, so a probe that heats two
+	// slices equally maps to the same slice on every run.
 	best, bestCount := -1, uint64(0)
 	for s, c := range counts {
 		if c > bestCount {

@@ -127,3 +127,58 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Errorf("per-slice sum = %d, want %d", sum, workers*each)
 	}
 }
+
+// TestHottestSliceTieBreak drives two slices to exactly equal counts and
+// demands the lower-indexed one win. The contention-probe methodology
+// asks "which counter moved most?" thousands of times; a tie broken
+// nondeterministically would make slice maps differ run to run.
+func TestHottestSliceTieBreak(t *testing.T) {
+	dev := gpu.MustNew(gpu.V100())
+	p := New(dev)
+
+	// Find addresses served by two distinct slices (scanning line-sized
+	// strides from SM 0 covers the hash quickly), heat them equally.
+	sliceA := dev.ServingSlice(0, 0)
+	sliceB, addrB := -1, uint64(0)
+	for a := uint64(128); a < 1<<20; a += 128 {
+		if s := dev.ServingSlice(0, a); s != sliceA {
+			sliceB, addrB = s, a
+			break
+		}
+	}
+	if sliceB < 0 {
+		t.Fatal("could not find a second slice")
+	}
+	for i := 0; i < 4; i++ {
+		p.RecordAccess(0, 0)
+		p.RecordAccess(0, addrB)
+	}
+	hot, err := p.HottestSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sliceA
+	if sliceB < sliceA {
+		want = sliceB
+	}
+	if hot != want {
+		t.Errorf("HottestSlice = %d, want the lowest tied index %d (tie between %d and %d)", hot, want, sliceA, sliceB)
+	}
+
+	// The same invariant holds when the tie is constructed directly on
+	// the counters, independent of the address hash.
+	p.Reset()
+	p.mu.Lock()
+	p.counts[5] = 9
+	p.counts[2] = 9
+	p.counts[7] = 4
+	p.total = 22
+	p.mu.Unlock()
+	hot, err = p.HottestSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot != 2 {
+		t.Errorf("HottestSlice = %d, want 2 (lowest index among tied counts)", hot)
+	}
+}

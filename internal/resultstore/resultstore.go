@@ -1,0 +1,409 @@
+// Package resultstore is the serving layer's memory: a content-addressed
+// cache of experiment results keyed by the canonical request tuple
+// (GPU generation, experiment ID, quick flag). Every experiment in this
+// repository is deterministic — the same tuple always renders the same
+// bytes — so a result computed once can be served forever, and the store
+// turns the characterization suite from a batch CLI into something that
+// can sit behind heavy traffic:
+//
+//   - Singleflight deduplication: N concurrent requests for a cold key
+//     trigger exactly one simulation; the first caller computes on its
+//     own goroutine, later callers block on the in-flight call's channel
+//     and receive the identical entry. The store spawns no goroutines of
+//     its own, so it stays inside the repository's "concurrency lives in
+//     internal/parallel or the caller" rule.
+//   - LRU with byte accounting: entries are bounded by a byte budget,
+//     not a count, because artifact payloads span two orders of
+//     magnitude. Eviction picks the least-recently-used entry and breaks
+//     exact ties toward the smallest key, so a replayed request stream
+//     always evicts identically.
+//   - Optional disk spill: computed entries are also written to a spill
+//     directory under their content address (SHA-256 of the canonical
+//     key string), and cold keys check the spill before simulating, so a
+//     restarted server warms from disk instead of recomputing the world.
+//
+// The store never reads the wall clock itself (noclint's determinism
+// analyzer forbids it inside the model); callers inject a monotonic
+// clock for the compute-latency histogram, exactly like
+// core.ReportOptions.Stopwatch.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
+)
+
+// Key is the canonical request tuple. Two requests with equal Keys are
+// guaranteed (by the simulators' determinism contract) to produce
+// byte-identical results.
+type Key struct {
+	// GPU is the canonical generation name (gpu.GenV100 etc.).
+	GPU gpu.Generation `json:"gpu"`
+	// Exp is the experiment registry ID ("fig1", "table1", "ext3").
+	Exp string `json:"exp"`
+	// Quick mirrors nocchar -quick: reduced sample counts.
+	Quick bool `json:"quick"`
+}
+
+// String renders the canonical form, e.g. "v100/fig1?quick=false". It is
+// the content-addressing preimage, so its format is part of the spill
+// on-disk contract.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s?quick=%v", strings.ToLower(string(k.GPU)), k.Exp, k.Quick)
+}
+
+// ContentAddress returns the hex SHA-256 of the canonical key string:
+// the spill file's basename.
+func (k Key) ContentAddress() string {
+	sum := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// less orders keys for deterministic tie-breaking in eviction.
+func (k Key) less(other Key) bool { return k.String() < other.String() }
+
+// Entry is one cached computation: every serving format pre-rendered, so
+// a format change on a warm key costs zero simulations.
+type Entry struct {
+	Key Key `json:"key"`
+	// JSON is byte-identical to `nocchar -gpu <g> -exp <e> -json` stdout.
+	JSON []byte `json:"json"`
+	// CSV is byte-identical to `nocchar -csv` stdout for the experiment.
+	CSV []byte `json:"csv"`
+	// Text is byte-identical to nocchar's default rendering.
+	Text []byte `json:"text"`
+	// Markdown is the report fragment for the run.
+	Markdown []byte `json:"markdown"`
+}
+
+// Size returns the entry's byte footprint for LRU accounting.
+func (e *Entry) Size() int64 {
+	const overhead = 128 // struct, map slot, bookkeeping
+	return int64(len(e.JSON)+len(e.CSV)+len(e.Text)+len(e.Markdown)) + overhead
+}
+
+// Outcome classifies how a Get was satisfied.
+type Outcome int
+
+const (
+	// OutcomeMiss: this call ran the simulation.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: served from memory.
+	OutcomeHit
+	// OutcomeCoalesced: another in-flight call for the same key ran the
+	// simulation; this call waited and shared its entry.
+	OutcomeCoalesced
+	// OutcomeSpill: served from the disk spill without simulating.
+	OutcomeSpill
+)
+
+// String implements fmt.Stringer; the values double as X-Cache headers.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeCoalesced:
+		return "coalesced"
+	case OutcomeSpill:
+		return "spill"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Options configures a Store.
+type Options struct {
+	// Compute runs the simulation for a cold key. Required. It must be
+	// safe for concurrent invocation with distinct keys; the store
+	// guarantees at most one in-flight invocation per key.
+	Compute func(Key) (*Entry, error)
+	// MaxBytes bounds the in-memory entries' total Size; <= 0 means
+	// unbounded. An entry alone exceeding the budget is served but not
+	// cached.
+	MaxBytes int64
+	// SpillDir, when non-empty, enables the disk spill.
+	SpillDir string
+	// Obs receives the store's instruments (hit/miss/coalesced/...
+	// counters, byte and entry gauges, compute-latency histogram); nil
+	// disables collection at zero cost.
+	Obs *obs.Registry
+	// Clock, when non-nil, returns elapsed time from an origin of the
+	// caller's choosing and enables the compute-latency histogram. The
+	// store never reads the wall clock itself.
+	Clock func() time.Duration
+}
+
+// call is one in-flight computation that waiters coalesce onto.
+type call struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// cached is one resident entry with its recency stamp.
+type cached struct {
+	entry   *Entry
+	lastUse uint64
+}
+
+// Store is the cache. It is safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu       sync.Mutex
+	entries  map[Key]*cached
+	inflight map[Key]*call
+	tick     uint64
+	bytes    int64
+
+	hits, misses, coalesced  *obs.Counter
+	evictions, oversize      *obs.Counter
+	spillLoads, spillStores  *obs.Counter
+	spillErrs, computeErrs   *obs.Counter
+	bytesGauge, entriesGauge *obs.Gauge
+	computeMS                *obs.Histogram
+}
+
+// computeLatencyBounds buckets compute wall time in milliseconds: quick
+// single-figure runs land in the low buckets, full -all-grade sweeps in
+// the top ones.
+func computeLatencyBounds() []int64 {
+	return []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+}
+
+// New builds a store.
+func New(opts Options) (*Store, error) {
+	if opts.Compute == nil {
+		return nil, errors.New("resultstore: Options.Compute is required")
+	}
+	if opts.SpillDir != "" {
+		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultstore: spill dir: %w", err)
+		}
+	}
+	s := &Store{
+		opts:     opts,
+		entries:  map[Key]*cached{},
+		inflight: map[Key]*call{},
+
+		hits:         opts.Obs.Counter("hit"),
+		misses:       opts.Obs.Counter("miss"),
+		coalesced:    opts.Obs.Counter("coalesced"),
+		evictions:    opts.Obs.Counter("eviction"),
+		oversize:     opts.Obs.Counter("oversize"),
+		spillLoads:   opts.Obs.Counter("spill_load"),
+		spillStores:  opts.Obs.Counter("spill_store"),
+		spillErrs:    opts.Obs.Counter("spill_err"),
+		computeErrs:  opts.Obs.Counter("compute_err"),
+		bytesGauge:   opts.Obs.Gauge("bytes"),
+		entriesGauge: opts.Obs.Gauge("entries"),
+		computeMS:    opts.Obs.Histogram("compute_ms", computeLatencyBounds()),
+	}
+	return s, nil
+}
+
+// Get returns the entry for key, computing it at most once no matter how
+// many callers ask concurrently. The Outcome reports how this particular
+// call was satisfied.
+func (s *Store) Get(key Key) (*Entry, Outcome, error) {
+	s.mu.Lock()
+	if c, ok := s.entries[key]; ok {
+		s.tick++
+		c.lastUse = s.tick
+		s.mu.Unlock()
+		s.hits.Inc()
+		return c.entry, OutcomeHit, nil
+	}
+	if fl, ok := s.inflight[key]; ok {
+		// Coalesce: the computing caller owns the simulation; wait for
+		// its channel close and share the entry it publishes.
+		s.mu.Unlock()
+		s.coalesced.Inc()
+		<-fl.done
+		return fl.entry, OutcomeCoalesced, fl.err
+	}
+	fl := &call{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.mu.Unlock()
+
+	entry, outcome, err := s.fill(key)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if err == nil {
+		s.insertLocked(key, entry)
+	}
+	s.mu.Unlock()
+
+	// Publish to waiters only after the cache state is settled; the
+	// channel close is the happens-before edge waiters read across.
+	fl.entry, fl.err = entry, err
+	close(fl.done)
+	return entry, outcome, err
+}
+
+// fill produces the entry for a cold key: from the disk spill when
+// possible, otherwise by running the simulation.
+func (s *Store) fill(key Key) (*Entry, Outcome, error) {
+	if e, ok := s.loadSpill(key); ok {
+		s.spillLoads.Inc()
+		return e, OutcomeSpill, nil
+	}
+	s.misses.Inc()
+	var start time.Duration
+	if s.opts.Clock != nil {
+		start = s.opts.Clock()
+	}
+	e, err := s.opts.Compute(key)
+	if err != nil {
+		s.computeErrs.Inc()
+		return nil, OutcomeMiss, err
+	}
+	if e == nil {
+		s.computeErrs.Inc()
+		return nil, OutcomeMiss, fmt.Errorf("resultstore: compute for %s returned no entry", key)
+	}
+	if s.opts.Clock != nil {
+		s.computeMS.Observe(int64((s.opts.Clock() - start) / time.Millisecond))
+	}
+	e.Key = key
+	s.storeSpill(key, e)
+	return e, OutcomeMiss, nil
+}
+
+// insertLocked caches an entry and evicts LRU entries past the byte
+// budget. Caller holds s.mu.
+func (s *Store) insertLocked(key Key, e *Entry) {
+	size := e.Size()
+	if s.opts.MaxBytes > 0 && size > s.opts.MaxBytes {
+		// Caching it would evict everything else and still overflow;
+		// serve uncached instead (the spill may still hold it).
+		s.oversize.Inc()
+		return
+	}
+	s.tick++
+	s.entries[key] = &cached{entry: e, lastUse: s.tick}
+	s.bytes += size
+	for s.opts.MaxBytes > 0 && s.bytes > s.opts.MaxBytes && len(s.entries) > 1 {
+		s.evictLocked()
+	}
+	s.bytesGauge.Set(s.bytes)
+	s.entriesGauge.Set(int64(len(s.entries)))
+}
+
+// evictLocked removes the least-recently-used entry. Recency stamps are
+// unique by construction (tick is monotonic under the lock), but exact
+// ties — should a refactor ever batch stamps — resolve to the smallest
+// key, mirroring the lowest-index rule of the L2 model's LRU and the
+// profiler's argmax: eviction order is deterministic for any replayed
+// request stream. The scan only accumulates a minimum, so map iteration
+// order cannot leak into the choice.
+func (s *Store) evictLocked() {
+	var victim Key
+	var vc *cached
+	for k, c := range s.entries {
+		if vc == nil || c.lastUse < vc.lastUse || (c.lastUse == vc.lastUse && k.less(victim)) {
+			victim, vc = k, c
+		}
+	}
+	if vc == nil {
+		return
+	}
+	delete(s.entries, victim)
+	s.bytes -= vc.entry.Size()
+	s.evictions.Inc()
+}
+
+// Len returns the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the resident entries' accounted size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Contains reports residency without touching recency or counters.
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// spillPath returns the content-addressed spill file for a key.
+func (s *Store) spillPath(key Key) string {
+	return filepath.Join(s.opts.SpillDir, key.ContentAddress()+".json")
+}
+
+// loadSpill reads a spilled entry, verifying the stored key matches the
+// requested one (the address is a hash; trust but verify).
+func (s *Store) loadSpill(key Key) (*Entry, bool) {
+	if s.opts.SpillDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.spillPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
+		s.spillErrs.Inc()
+		return nil, false
+	}
+	return &e, true
+}
+
+// storeSpill writes an entry to the spill, atomically via a temp file so
+// a crashed writer never leaves a half-written content address. Spill is
+// best-effort: failures are counted, not returned — the caller already
+// holds a good in-memory entry.
+func (s *Store) storeSpill(key Key, e *Entry) {
+	if s.opts.SpillDir == "" {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		s.spillErrs.Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(s.opts.SpillDir, "spill-*.tmp")
+	if err != nil {
+		s.spillErrs.Inc()
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		s.spillErrs.Inc()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		s.spillErrs.Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.spillPath(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		s.spillErrs.Inc()
+		return
+	}
+	s.spillStores.Inc()
+}

@@ -1,0 +1,328 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpunoc/internal/gpu"
+	"gpunoc/internal/obs"
+)
+
+// fakeEntry builds a deterministic entry whose payload identifies the
+// key, padded to a controllable size.
+func fakeEntry(key Key, pad int) *Entry {
+	body := []byte(fmt.Sprintf("payload(%s)%s", key, bytes.Repeat([]byte("x"), pad)))
+	return &Entry{
+		JSON:     append([]byte("json:"), body...),
+		CSV:      append([]byte("csv:"), body...),
+		Text:     append([]byte("text:"), body...),
+		Markdown: append([]byte("md:"), body...),
+	}
+}
+
+// countingComputer counts invocations per key and delegates to fakeEntry.
+type countingComputer struct {
+	mu    sync.Mutex
+	calls map[Key]int
+	pad   int
+	// gate, when non-nil, blocks every compute until released — the
+	// lever the singleflight test uses to pile waiters onto a cold key.
+	gate chan struct{}
+}
+
+func (c *countingComputer) compute(key Key) (*Entry, error) {
+	c.mu.Lock()
+	if c.calls == nil {
+		c.calls = map[Key]int{}
+	}
+	c.calls[key]++
+	gate := c.gate
+	c.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return fakeEntry(key, c.pad), nil
+}
+
+func (c *countingComputer) callCount(key Key) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[key]
+}
+
+func key(gen gpu.Generation, exp string) Key { return Key{GPU: gen, Exp: exp, Quick: true} }
+
+func TestColdThenWarm(t *testing.T) {
+	comp := &countingComputer{}
+	reg := obs.New()
+	s, err := New(Options{Compute: comp.compute, Obs: reg.Scope("resultstore")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenV100, "fig1")
+
+	e1, out, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != OutcomeMiss {
+		t.Errorf("cold Get outcome = %s, want miss", out)
+	}
+	e2, out, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != OutcomeHit {
+		t.Errorf("warm Get outcome = %s, want hit", out)
+	}
+	if !bytes.Equal(e1.JSON, e2.JSON) || !bytes.Equal(e1.Text, e2.Text) {
+		t.Error("warm bytes differ from cold bytes")
+	}
+	if n := comp.callCount(k); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	if got := reg.Scope("resultstore").Counter("hit").Value(); got != 1 {
+		t.Errorf("hit counter = %d, want 1", got)
+	}
+	if got := reg.Scope("resultstore").Counter("miss").Value(); got != 1 {
+		t.Errorf("miss counter = %d, want 1", got)
+	}
+}
+
+// TestSingleflightCoalescing piles N concurrent waiters on one cold key
+// while the compute is gated shut, then releases it: exactly one
+// simulation must run, and every waiter must receive identical bytes.
+func TestSingleflightCoalescing(t *testing.T) {
+	comp := &countingComputer{gate: make(chan struct{})}
+	reg := obs.New()
+	s, err := New(Options{Compute: comp.compute, Obs: reg.Scope("resultstore")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenA100, "fig9")
+
+	const waiters = 64
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	entries := make([]*Entry, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, out, err := s.Get(k)
+			entries[i], errs[i] = e, err
+			if out == OutcomeCoalesced {
+				coalesced.Add(1)
+			}
+		}(i)
+	}
+	// Wait until the one computer is inside compute (call count 1) and
+	// then give stragglers a moment to pile onto the in-flight call.
+	for comp.callCount(k) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(comp.gate)
+	wg.Wait()
+
+	if n := comp.callCount(k); n != 1 {
+		t.Fatalf("compute ran %d times for one cold key, want exactly 1", n)
+	}
+	for i := range entries {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d error: %v", i, errs[i])
+		}
+		if !bytes.Equal(entries[i].JSON, entries[0].JSON) {
+			t.Fatalf("waiter %d received different bytes", i)
+		}
+	}
+	if got := reg.Scope("resultstore").Counter("coalesced").Value(); got != coalesced.Load() {
+		t.Errorf("coalesced counter = %d, want %d", got, coalesced.Load())
+	}
+	if coalesced.Load() == 0 {
+		t.Error("no waiter coalesced; the gate did not hold the compute open")
+	}
+}
+
+func TestLRUEvictionUnderByteBudget(t *testing.T) {
+	comp := &countingComputer{pad: 100}
+	s, err := New(Options{Compute: comp.compute, MaxBytes: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := key(gpu.GenV100, "fig1")
+	k2 := key(gpu.GenV100, "fig2")
+	k3 := key(gpu.GenV100, "fig3")
+
+	mustGet := func(k Key, want Outcome) {
+		t.Helper()
+		_, out, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != want {
+			t.Fatalf("Get(%s) outcome = %s, want %s", k, out, want)
+		}
+	}
+
+	mustGet(k1, OutcomeMiss)
+	mustGet(k2, OutcomeMiss)
+	if s.Len() != 2 {
+		t.Fatalf("resident entries = %d, want 2 within budget", s.Len())
+	}
+	// Touch k1 so k2 is the LRU, then overflow with k3: k2 must go.
+	mustGet(k1, OutcomeHit)
+	mustGet(k3, OutcomeMiss)
+	if s.Contains(k2) {
+		t.Error("k2 still resident; LRU eviction picked the wrong victim")
+	}
+	if !s.Contains(k1) || !s.Contains(k3) {
+		t.Error("recently used k1 or fresh k3 was evicted")
+	}
+	if s.opts.MaxBytes > 0 && s.Bytes() > s.opts.MaxBytes {
+		t.Errorf("resident bytes %d exceed budget %d", s.Bytes(), s.opts.MaxBytes)
+	}
+	// A re-request of the victim recomputes.
+	mustGet(k2, OutcomeMiss)
+	if n := comp.callCount(k2); n != 2 {
+		t.Errorf("k2 computed %d times, want 2 (evicted once)", n)
+	}
+}
+
+func TestOversizeEntryServedUncached(t *testing.T) {
+	comp := &countingComputer{pad: 10_000}
+	s, err := New(Options{Compute: comp.compute, MaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenH100, "fig13")
+	if _, out, err := s.Get(k); err != nil || out != OutcomeMiss {
+		t.Fatalf("Get = (%s, %v), want miss", out, err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("oversize entry was cached (%d resident)", s.Len())
+	}
+	// Still servable, just recomputed each time.
+	if _, out, _ := s.Get(k); out != OutcomeMiss {
+		t.Errorf("second Get outcome = %s, want miss (uncached oversize)", out)
+	}
+}
+
+// TestDiskSpillRoundTrip: a store with a spill dir persists computed
+// entries; a fresh store over the same dir serves them byte-identically
+// without a single simulation.
+func TestDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	comp1 := &countingComputer{pad: 33}
+	s1, err := New(Options{Compute: comp1.compute, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenV100, "table1")
+	cold, out, err := s1.Get(k)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("cold Get = (%s, %v), want miss", out, err)
+	}
+
+	comp2 := &countingComputer{pad: 33}
+	reg := obs.New()
+	s2, err := New(Options{Compute: comp2.compute, SpillDir: dir, Obs: reg.Scope("resultstore")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, out, err := s2.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != OutcomeSpill {
+		t.Errorf("restarted Get outcome = %s, want spill", out)
+	}
+	if comp2.callCount(k) != 0 {
+		t.Errorf("restarted store simulated %d times, want 0", comp2.callCount(k))
+	}
+	if !bytes.Equal(cold.JSON, warm.JSON) || !bytes.Equal(cold.CSV, warm.CSV) ||
+		!bytes.Equal(cold.Text, warm.Text) || !bytes.Equal(cold.Markdown, warm.Markdown) {
+		t.Error("spill round-trip bytes differ from the computed entry")
+	}
+	if got := reg.Scope("resultstore").Counter("spill_load").Value(); got != 1 {
+		t.Errorf("spill_load counter = %d, want 1", got)
+	}
+	// Once loaded it is resident: the next Get is a plain hit.
+	if _, out, _ := s2.Get(k); out != OutcomeHit {
+		t.Errorf("post-spill Get outcome = %s, want hit", out)
+	}
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	s, err := New(Options{Compute: func(Key) (*Entry, error) {
+		calls.Add(1)
+		return nil, boom
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenV100, "fig1")
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Get(k); !errors.Is(err, boom) {
+			t.Fatalf("Get err = %v, want boom", err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("compute ran %d times, want 3 (errors are not cached)", calls.Load())
+	}
+	if s.Len() != 0 {
+		t.Errorf("error left %d resident entries", s.Len())
+	}
+}
+
+func TestEvictionTieBreaksToSmallestKey(t *testing.T) {
+	comp := &countingComputer{pad: 100}
+	s, err := New(Options{Compute: comp.compute, MaxBytes: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka := key(gpu.GenA100, "fig1") // "a100/fig1?quick=true"
+	kv := key(gpu.GenV100, "fig1") // "v100/fig1?quick=true"
+	if _, _, err := s.Get(kv); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(ka); err != nil {
+		t.Fatal(err)
+	}
+	// Force an exact recency tie — unreachable through Get, whose tick
+	// is strictly monotonic, but the determinism contract must survive
+	// refactors that batch stamps.
+	s.mu.Lock()
+	for _, c := range s.entries {
+		c.lastUse = 7
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	if s.Contains(ka) {
+		t.Error("tie kept the smallest canonical key; want it evicted first")
+	}
+	if !s.Contains(kv) {
+		t.Error("v100 key should have survived the tie")
+	}
+}
+
+func TestKeyCanonicalForm(t *testing.T) {
+	k := Key{GPU: gpu.GenV100, Exp: "fig1", Quick: false}
+	if got := k.String(); got != "v100/fig1?quick=false" {
+		t.Errorf("Key.String() = %q", got)
+	}
+	if a, b := k.ContentAddress(), (Key{GPU: gpu.GenV100, Exp: "fig1", Quick: true}).ContentAddress(); a == b {
+		t.Error("quick and full keys share a content address")
+	}
+	if len(k.ContentAddress()) != 64 {
+		t.Errorf("content address %q is not hex SHA-256", k.ContentAddress())
+	}
+}

@@ -6,6 +6,7 @@
 package sidechannel
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -161,7 +162,12 @@ func RecoverAESKeyByte(samples []AESSample, j int, sectorBytes int) (AESGuessRes
 			predicted[i] = float64(popcount(mask))
 		}
 		r, err := stats.Pearson(predicted, times)
-		if err != nil {
+		if errors.Is(err, stats.ErrZeroVariance) {
+			// A constant prediction (or flat timing) carries no signal
+			// for this guess; score it as uncorrelated rather than
+			// failing the whole key byte.
+			r = 0
+		} else if err != nil {
 			return res, err
 		}
 		res.Correlations[g] = r

@@ -1,6 +1,7 @@
 package sidechannel
 
 import (
+	"errors"
 	"fmt"
 
 	"gpunoc/internal/gpu"
@@ -36,6 +37,11 @@ func ClusterSMsByLatency(dev *gpu.Device, sms []int, iters int, threshold float6
 		placed := false
 		for c := range clusters {
 			r, err := stats.Pearson(profiles[representative[c]], profiles[i])
+			if errors.Is(err, stats.ErrZeroVariance) {
+				// A flat profile correlates with nothing; the SM cannot
+				// be co-located with this cluster by timing evidence.
+				continue
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -19,6 +19,16 @@ var ErrLengthMismatch = errors.New("stats: sample slices have different lengths"
 // ErrEmpty is returned when a statistic is requested over no samples.
 var ErrEmpty = errors.New("stats: no samples")
 
+// ErrZeroVariance is returned by Pearson (and everything built on it)
+// when either series is constant. The coefficient divides by both
+// standard deviations, so r is mathematically undefined there — which is
+// not the same thing as r = 0, "no linear relationship". Callers decide
+// what an undefined coefficient means for them: the Fig. 6 heatmap
+// renders such cells as NaN, the AES guess scorer treats a constant
+// predictor as signal-free, the co-location clustering treats the pair
+// as uncorrelated. Test with errors.Is.
+var ErrZeroVariance = errors.New("stats: zero variance, Pearson correlation undefined")
+
 // Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -97,8 +107,9 @@ func Sum(xs []float64) float64 {
 // 1 means perfect positive linear correlation, -1 perfect negative, 0 none.
 //
 // It returns an error if the slices differ in length or hold fewer than two
-// samples, and r = 0 if either sample has zero variance (the coefficient is
-// undefined there; 0 is the conventional "no linear relationship" value).
+// samples, and ErrZeroVariance if either sample is constant: the
+// coefficient is undefined there, and silently reporting 0 would be
+// indistinguishable from a true "no linear relationship" measurement.
 func Pearson(xs, ys []float64) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, ErrLengthMismatch
@@ -116,13 +127,15 @@ func Pearson(xs, ys []float64) (float64, error) {
 		syy += dy * dy
 	}
 	if sxx == 0 || syy == 0 {
-		return 0, nil
+		return 0, ErrZeroVariance
 	}
 	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy)), nil
 }
 
-// MustPearson is Pearson but panics on malformed input. It is intended for
-// internal sweeps where lengths are correct by construction.
+// MustPearson is Pearson but panics on malformed input — including
+// zero-variance input, which now surfaces as ErrZeroVariance rather than
+// a silent 0. It is intended for internal sweeps where lengths are
+// correct and variation is guaranteed by construction.
 func MustPearson(xs, ys []float64) float64 {
 	r, err := Pearson(xs, ys)
 	if err != nil {
@@ -134,7 +147,10 @@ func MustPearson(xs, ys []float64) float64 {
 // CorrelationMatrix computes the pairwise Pearson correlation matrix of the
 // rows of samples: out[i][j] = Pearson(samples[i], samples[j]). All rows
 // must have equal, nonzero length. This is the computation behind the
-// paper's Fig. 6 heatmaps.
+// paper's Fig. 6 heatmaps. A pair involving a constant row has an
+// undefined coefficient; its cell is NaN (diagonals stay 1 by the r(x,x)
+// convention), so renderers can distinguish "undefined" from a measured
+// zero correlation.
 func CorrelationMatrix(samples [][]float64) ([][]float64, error) {
 	n := len(samples)
 	if n == 0 {
@@ -154,7 +170,9 @@ func CorrelationMatrix(samples [][]float64) ([][]float64, error) {
 		out[i][i] = 1
 		for j := i + 1; j < n; j++ {
 			r, err := Pearson(samples[i], samples[j])
-			if err != nil {
+			if errors.Is(err, ErrZeroVariance) {
+				r = math.NaN()
+			} else if err != nil {
 				return nil, err
 			}
 			out[i][j] = r
@@ -179,6 +197,8 @@ func Argsort(xs []float64) []int {
 // SpearmanRank returns the Spearman rank-correlation coefficient between xs
 // and ys: the Pearson correlation of their rank vectors. It is used to test
 // order-level (rather than value-level) agreement of latency profiles.
+// A constant series has constant ranks, so it propagates ErrZeroVariance
+// like Pearson does.
 func SpearmanRank(xs, ys []float64) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, ErrLengthMismatch
@@ -209,7 +229,9 @@ func Ranks(xs []float64) []float64 {
 // LinearFit fits y = slope*x + intercept by ordinary least squares and also
 // returns the Pearson r of the fit. The GPU timing side-channels in Sec. V
 // rely on such linear relationships (timing vs. unique cache lines, timing
-// vs. count of RSA one-bits).
+// vs. count of RSA one-bits). A constant y yields the exact horizontal
+// fit (slope 0) but an undefined r, so it returns ErrZeroVariance — a
+// side-channel fit against a flat timing series measured nothing.
 func LinearFit(xs, ys []float64) (slope, intercept, r float64, err error) {
 	if len(xs) != len(ys) {
 		return 0, 0, 0, ErrLengthMismatch

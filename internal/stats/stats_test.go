@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -75,12 +76,63 @@ func TestPearsonPerfectAnticorrelation(t *testing.T) {
 }
 
 func TestPearsonZeroVariance(t *testing.T) {
-	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	// Constant input makes the coefficient undefined; the sentinel must
+	// be distinguishable from a measured zero correlation (which stays
+	// err == nil), whichever side is flat.
+	cases := [][2][]float64{
+		{{1, 1, 1}, {1, 2, 3}},
+		{{1, 2, 3}, {7, 7, 7}},
+		{{4, 4, 4}, {4, 4, 4}},
+	}
+	for _, c := range cases {
+		r, err := Pearson(c[0], c[1])
+		if !errors.Is(err, ErrZeroVariance) {
+			t.Errorf("Pearson(%v, %v) err = %v, want ErrZeroVariance", c[0], c[1], err)
+		}
+		if r != 0 {
+			t.Errorf("Pearson(%v, %v) r = %v, want 0 alongside the sentinel", c[0], c[1], r)
+		}
+	}
+	// A genuinely uncorrelated pair with variance keeps the nil error.
+	if _, err := Pearson([]float64{1, 2, 1, 2}, []float64{5, 5, 6, 6}); err != nil {
+		t.Errorf("varying input returned %v, want nil", err)
+	}
+}
+
+func TestMustPearsonPanicsOnZeroVariance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPearson on a constant series should panic, not return a silent 0")
+		}
+	}()
+	MustPearson([]float64{3, 3, 3}, []float64{1, 2, 3})
+}
+
+func TestCorrelationMatrixConstantRow(t *testing.T) {
+	m, err := CorrelationMatrix([][]float64{
+		{1, 2, 3},
+		{5, 5, 5},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r != 0 {
-		t.Errorf("r = %v, want 0 for zero-variance input", r)
+	if m[0][0] != 1 || m[1][1] != 1 {
+		t.Errorf("diagonal = %v, %v, want 1 by convention", m[0][0], m[1][1])
+	}
+	if !math.IsNaN(m[0][1]) || !math.IsNaN(m[1][0]) {
+		t.Errorf("constant-row cells = %v, %v, want NaN (undefined, not zero)", m[0][1], m[1][0])
+	}
+}
+
+func TestSpearmanConstantSeries(t *testing.T) {
+	if _, err := SpearmanRank([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrZeroVariance) {
+		t.Errorf("SpearmanRank on a constant series err = %v, want ErrZeroVariance", err)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4}); !errors.Is(err, ErrZeroVariance) {
+		t.Errorf("LinearFit with constant y err = %v, want ErrZeroVariance", err)
 	}
 }
 
