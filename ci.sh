@@ -17,8 +17,33 @@ go vet ./...
 echo "==> go build"
 go build ./...
 
-echo "==> noclint (determinism, unitsafety, orderedoutput, registry, errcheck)"
-go run ./cmd/noclint ./...
+echo "==> noclint -baseline (per-package + interprocedural analyzers, ratchet)"
+# The committed baseline is empty: every analyzer must run clean, and
+# the ratchet fails both on new findings and on stale baseline entries.
+go run ./cmd/noclint -baseline noclint.baseline.json ./...
+
+echo "==> noclint seeded-violation smoke"
+# Prove the gate actually bites: drop a file with a known violation into
+# the tree, assert noclint -baseline exits non-zero, then remove it.
+smokedir="internal/lintsmoke_$$"
+mkdir "$smokedir"
+trap 'rm -rf "$smokedir"' EXIT
+cat > "$smokedir/bad.go" <<'EOF'
+// Package lintsmoke is a transient CI fixture proving the noclint
+// baseline gate fails on a seeded violation.
+package lintsmoke
+
+import "time"
+
+// Stamp reads the wall clock inside the model: a seedflow violation.
+func Stamp() time.Time { return time.Now() }
+EOF
+if go run ./cmd/noclint -baseline noclint.baseline.json ./... >/dev/null 2>&1; then
+	echo "noclint -baseline passed with a seeded violation; the gate is dead" >&2
+	exit 1
+fi
+rm -rf "$smokedir"
+trap - EXIT
 
 echo "==> go test -race"
 go test -race ./...

@@ -1,6 +1,9 @@
-// Command noclint runs the gpunoc static-analysis suite: determinism,
-// unit safety, ordered output, registry completeness and error hygiene
-// (see internal/lint). It exits non-zero when any finding survives
+// Command noclint runs the gpunoc static-analysis suite: the
+// per-package analyzers (determinism, seedflow, unit safety, ordered
+// output, registry completeness, error hygiene) plus the
+// interprocedural analyzers built on a module-local call graph
+// (hotpathalloc, transitive determinism, atomicmix, staleignore; see
+// internal/lint). It exits non-zero when any finding survives
 // suppression, making it suitable as a CI gate.
 //
 // Usage:
@@ -8,10 +11,19 @@
 //	noclint ./...
 //	noclint -json ./internal/core
 //	noclint -list
+//	noclint -baseline noclint.baseline.json ./...
+//	noclint -write-baseline noclint.baseline.json ./...
 //
 // Findings print as file:line: [analyzer] message. Suppress one with a
 // `//lint:ignore <analyzer> <reason>` comment on or directly above the
 // offending line.
+//
+// The -baseline mode is a ratchet: findings are compared against a
+// committed, position-normalized baseline, and the run fails both on
+// findings missing from the baseline (regressions) and on baseline
+// entries no finding matched (stale entries — the fix must be locked in
+// by shrinking the baseline). -write-baseline records the current
+// findings as the new accepted set.
 package main
 
 import (
@@ -28,8 +40,10 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		baseline  = flag.String("baseline", "", "compare findings against this baseline file; fail on regressions and stale entries")
+		writeBase = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	)
 	flag.Parse()
 
@@ -37,7 +51,13 @@ func main() {
 		for _, a := range lint.Analyzers() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range lint.ProgramAnalyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
 		return
+	}
+	if *baseline != "" && *writeBase != "" {
+		fatal(fmt.Errorf("-baseline and -write-baseline are mutually exclusive"))
 	}
 
 	patterns := flag.Args()
@@ -58,14 +78,45 @@ func main() {
 		fatal(err)
 	}
 	loader := lint.NewLoader(root, modulePath)
-	var diags []lint.Diagnostic
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %v", dir, err))
 		}
-		diags = append(diags, lint.Check(pkg)...)
+		pkgs = append(pkgs, pkg)
 	}
+	prog := lint.NewProgram(pkgs)
+	prog.FullModule, err = coversModule(root, dirs)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.CheckProgram(prog)
+
+	if *writeBase != "" {
+		entries := lint.BaselineFromDiagnostics(root, diags)
+		if err := lint.WriteBaseline(*writeBase, entries); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "noclint: wrote %d baseline entr%s to %s\n",
+			len(entries), plural(len(entries), "y", "ies"), *writeBase)
+		return
+	}
+
+	var stale []lint.BaselineEntry
+	if *baseline != "" {
+		entries, err := lint.ReadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		diags, stale = lint.CompareBaseline(root, diags, entries)
+		if !prog.FullModule {
+			// A partial load cannot see the whole accepted set; stale
+			// detection would misfire on every entry outside the load.
+			stale = nil
+		}
+	}
+
 	// Report paths relative to the working directory, like go vet.
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
@@ -88,9 +139,40 @@ func main() {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
+	for _, e := range stale {
+		fmt.Printf("%s: [%s] stale baseline entry (%d unmatched): the finding was fixed — remove it from the baseline: %s\n",
+			e.File, e.Analyzer, e.Count, e.Message)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
 		os.Exit(1)
 	}
+}
+
+// coversModule reports whether the loaded directory set includes every
+// package directory of the module — the precondition for whole-program
+// verdicts (staleignore, stale-baseline detection).
+func coversModule(root string, dirs []string) (bool, error) {
+	all, err := expandPatterns([]string{root + "/..."})
+	if err != nil {
+		return false, err
+	}
+	loaded := map[string]bool{}
+	for _, d := range dirs {
+		loaded[d] = true
+	}
+	for _, d := range all {
+		if !loaded[d] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // expandPatterns resolves CLI arguments into package directories. A

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support turns the suite into a ratchet. A baseline is the
+// position-normalized set of currently accepted findings: entries carry
+// the module-root-relative file (slash-separated), the analyzer, the
+// message, and a count — but no line or column, so reformatting or
+// unrelated edits in the same file do not churn it. Comparing a run
+// against the baseline fails in both directions: a finding not covered
+// by the baseline is a regression, and a baseline entry no finding
+// matched is stale (the violation was fixed, so the ratchet must
+// tighten). The committed baseline is ideally empty — then -baseline is
+// simply "no findings, and stays that way".
+
+// BaselineEntry is one accepted finding class in a baseline file.
+type BaselineEntry struct {
+	// File is the module-root-relative, slash-separated path.
+	File string `json:"file"`
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// Message is the exact diagnostic message.
+	Message string `json:"message"`
+	// Count is how many findings with this (file, analyzer, message)
+	// shape are accepted.
+	Count int `json:"count"`
+}
+
+// baselineKey identifies an entry up to its count.
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// normalizeBaselineFile rewrites a diagnostic's file path relative to
+// the module root with forward slashes, so baselines are portable
+// across checkouts and platforms.
+func normalizeBaselineFile(moduleRoot, file string) string {
+	if moduleRoot != "" {
+		if rel, err := filepath.Rel(moduleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// BaselineFromDiagnostics folds findings into sorted baseline entries.
+func BaselineFromDiagnostics(moduleRoot string, diags []Diagnostic) []BaselineEntry {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		file := normalizeBaselineFile(moduleRoot, d.File)
+		k := baselineKey(file, d.Analyzer, d.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{File: file, Analyzer: d.Analyzer, Message: d.Message, Count: 1}
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for _, k := range sortedKeys(counts) {
+		entries = append(entries, *counts[k])
+	}
+	return entries
+}
+
+// WriteBaseline writes entries as deterministic, human-diffable JSON.
+// An empty baseline is written as the literal `[]`.
+func WriteBaseline(path string, entries []BaselineEntry) error {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	if entries == nil {
+		entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// CompareBaseline checks findings against a baseline. It returns the
+// findings not covered by the baseline (regressions) and the baseline
+// entries with a higher accepted count than observed findings (stale —
+// expressed as entries whose Count is the unmatched surplus). The run
+// passes only when both are empty.
+func CompareBaseline(moduleRoot string, diags []Diagnostic, entries []BaselineEntry) (newDiags []Diagnostic, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range entries {
+		budget[baselineKey(e.File, e.Analyzer, e.Message)] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey(normalizeBaselineFile(moduleRoot, d.File), d.Analyzer, d.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		newDiags = append(newDiags, d)
+	}
+	for _, e := range entries {
+		k := baselineKey(e.File, e.Analyzer, e.Message)
+		if budget[k] > 0 {
+			surplus := e
+			surplus.Count = budget[k]
+			stale = append(stale, surplus)
+			budget[k] = 0
+		}
+	}
+	return newDiags, stale
+}

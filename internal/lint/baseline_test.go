@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestBaselineRoundTrip proves the ratchet's full cycle: write →
+// compare clean → line moves stay clean (position normalization) → a
+// new violation fails → a fixed violation reports the entry as stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	d := func(rel string, line int, analyzer, msg string) Diagnostic {
+		return Diagnostic{File: filepath.Join(root, filepath.FromSlash(rel)), Line: line, Col: 1, Analyzer: analyzer, Message: msg}
+	}
+	diags := []Diagnostic{
+		d("a/x.go", 3, "hotpathalloc", "append may grow"),
+		d("a/x.go", 9, "hotpathalloc", "append may grow"),
+		d("b.go", 2, "seedflow", "time.Now reads the wall clock"),
+	}
+
+	entries := BaselineFromDiagnostics(root, diags)
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (position-normalized): %+v", len(entries), entries)
+	}
+	if entries[0].File != "a/x.go" || entries[0].Count != 2 {
+		t.Errorf("entry[0] = %+v, want a/x.go with count 2", entries[0])
+	}
+
+	path := filepath.Join(root, "baseline.json")
+	if err := WriteBaseline(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean comparison: same findings, no regressions, no stale entries.
+	if newD, stale := CompareBaseline(root, diags, loaded); len(newD) != 0 || len(stale) != 0 {
+		t.Errorf("clean compare: new=%v stale=%v, want both empty", newD, stale)
+	}
+
+	// Position normalization: the same findings on different lines (an
+	// unrelated edit shifted the file) still match.
+	moved := []Diagnostic{
+		d("a/x.go", 30, "hotpathalloc", "append may grow"),
+		d("a/x.go", 90, "hotpathalloc", "append may grow"),
+		d("b.go", 20, "seedflow", "time.Now reads the wall clock"),
+	}
+	if newD, stale := CompareBaseline(root, moved, loaded); len(newD) != 0 || len(stale) != 0 {
+		t.Errorf("moved compare: new=%v stale=%v, want both empty", newD, stale)
+	}
+
+	// A seeded violation is a regression.
+	injected := append(append([]Diagnostic{}, diags...), d("c.go", 1, "atomicmix", "plain access races"))
+	newD, stale := CompareBaseline(root, injected, loaded)
+	if len(newD) != 1 || len(stale) != 0 {
+		t.Fatalf("injected compare: new=%v stale=%v, want exactly the c.go finding and no stale", newD, stale)
+	}
+	if filepath.Base(newD[0].File) != "c.go" {
+		t.Errorf("regression file = %s, want c.go", newD[0].File)
+	}
+
+	// Fixing one of the two a/x.go findings makes the surplus stale: the
+	// ratchet demands the baseline shrink with the fix.
+	fixed := []Diagnostic{diags[0], diags[2]}
+	newD, stale = CompareBaseline(root, fixed, loaded)
+	if len(newD) != 0 || len(stale) != 1 {
+		t.Fatalf("fixed compare: new=%v stale=%v, want one stale entry", newD, stale)
+	}
+	if stale[0].File != "a/x.go" || stale[0].Count != 1 {
+		t.Errorf("stale entry = %+v, want a/x.go with surplus count 1", stale[0])
+	}
+}

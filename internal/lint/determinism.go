@@ -6,17 +6,16 @@ import (
 	"strings"
 )
 
-// DeterminismAnalyzer flags nondeterminism sources that would make
-// simulation results irreproducible: calls to math/rand package-level
-// functions (which draw from the process-global, unseeded source instead
-// of a seeded *rand.Rand threaded through the model), wall-clock reads
-// (time.Now, time.Since) inside internal packages, and raw go
-// statements inside internal packages. Command packages (cmd/...) may
-// read the clock for report timestamps; the model itself must not.
-// Concurrency belongs in internal/parallel, whose index-addressed
+// DeterminismAnalyzer flags scheduling- and order-dependent constructs
+// that would make simulation results irreproducible: raw go statements
+// inside internal packages, and unordered map iteration in obs emission
+// paths. Concurrency belongs in internal/parallel, whose index-addressed
 // worker pool keeps reduction order independent of goroutine
 // scheduling; a bare goroutine anywhere else in the model invites
-// scheduling-order-dependent results.
+// scheduling-order-dependent results. (Entropy-source checks — global
+// math/rand, wall-clock and environment reads — moved to the seedflow
+// analyzer in noclint v2; the interprocedural half of this analyzer
+// lives in DeterminismReachAnalyzer.)
 //
 // Inside the obs package - the one place instrument state leaves the
 // process - the analyzer additionally flags every range over a map
@@ -29,20 +28,22 @@ import (
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
-		Doc:  "flag unseeded math/rand use, wall-clock reads, and raw goroutines inside the model",
+		Doc:  "flag raw goroutines inside the model and map-order walks in obs emission paths",
 		Run:  runDeterminism,
 	}
 }
 
 // randConstructors are the math/rand package-level names that build or
-// feed an explicit source rather than drawing from the global one.
+// feed an explicit source rather than drawing from the global one
+// (shared with the seedflow analyzer).
 var randConstructors = map[string]bool{
 	"New":       true,
 	"NewSource": true,
 	"NewZipf":   true,
 }
 
-// clockFuncs are the time package functions that read the wall clock.
+// clockFuncs are the time package functions that read the wall clock
+// (shared with the seedflow analyzer).
 var clockFuncs = map[string]bool{
 	"Now":   true,
 	"Since": true,
@@ -62,29 +63,6 @@ func runDeterminism(p *Package) []Diagnostic {
 					"go statement spawns a raw goroutine inside the model; shard through parallel.Map/ForEach so results stay index-addressed and scheduling-independent"))
 			}
 			return true
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkgPath := p.packagePathOf(file, sel)
-		switch pkgPath {
-		case "math/rand":
-			if !randConstructors[sel.Sel.Name] {
-				diags = append(diags, p.diag(call.Pos(), "determinism",
-					"rand.%s draws from the process-global source; route randomness through a seeded *rand.Rand",
-					sel.Sel.Name))
-			}
-		case "time":
-			if clockFuncs[sel.Sel.Name] && internal && !inCmd {
-				diags = append(diags, p.diag(call.Pos(), "determinism",
-					"time.%s reads the wall clock inside the model; pass timestamps in from the caller",
-					sel.Sel.Name))
-			}
 		}
 		return true
 	})

@@ -49,10 +49,25 @@ type Analyzer struct {
 	Run func(p *Package) []Diagnostic
 }
 
-// Analyzers returns the full suite in a fixed order.
+// ProgramAnalyzer is an interprocedural invariant checker. Run inspects
+// a whole Program (all loaded packages plus their shared call graph)
+// and returns its findings (suppressions are applied by the caller).
+type ProgramAnalyzer struct {
+	// Name is the identifier used in output and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run executes the analyzer over the program. It may be nil for
+	// analyzers CheckProgram evaluates itself (staleignore needs the
+	// suppression-usage information only CheckProgram has).
+	Run func(prog *Program) []Diagnostic
+}
+
+// Analyzers returns the per-package suite in a fixed order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
+		SeedFlowAnalyzer(),
 		UnitSafetyAnalyzer(),
 		OrderedOutputAnalyzer(),
 		RegistryAnalyzer(),
@@ -60,14 +75,81 @@ func Analyzers() []*Analyzer {
 	}
 }
 
-// Check runs every analyzer over the package and returns the surviving
-// (unsuppressed) findings sorted by position.
+// ProgramAnalyzers returns the interprocedural suite in a fixed order.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		HotPathAllocAnalyzer(),
+		DeterminismReachAnalyzer(),
+		AtomicMixAnalyzer(),
+		StaleIgnoreAnalyzer(),
+	}
+}
+
+// StaleIgnoreAnalyzer reports //lint:ignore directives that no longer
+// suppress anything: the finding they silenced was fixed (or never
+// existed), so the directive is dead weight that would mask a future
+// regression at the same position. It has no Run of its own — it is
+// evaluated inside CheckProgram after suppression matching, because
+// only CheckProgram knows which directives were actually consulted,
+// and only on full-module Programs (a partial load cannot distinguish
+// "stale" from "suppresses an interprocedural finding rooted in a
+// package outside this load").
+func StaleIgnoreAnalyzer() *ProgramAnalyzer {
+	return &ProgramAnalyzer{
+		Name: "staleignore",
+		Doc:  "report //lint:ignore directives that no longer suppress anything (full-module runs only)",
+	}
+}
+
+// Check runs every per-package analyzer over the package and returns
+// the surviving (unsuppressed) findings sorted by position.
 func Check(p *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range Analyzers() {
 		diags = append(diags, a.Run(p)...)
 	}
 	diags = FilterSuppressed(p, diags)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// CheckProgram runs the full suite — per-package analyzers over every
+// package, then the interprocedural analyzers over the program — and
+// applies //lint:ignore suppression across the whole diagnostic set at
+// once (an interprocedural finding can be suppressed at its position
+// like any other). On full-module Programs, directives that suppressed
+// nothing are reported under the staleignore analyzer.
+func CheckProgram(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range prog.Packages {
+		for _, a := range Analyzers() {
+			diags = append(diags, a.Run(p)...)
+		}
+	}
+	for _, a := range ProgramAnalyzers() {
+		if a.Run != nil {
+			diags = append(diags, a.Run(prog)...)
+		}
+	}
+	var sups []suppression
+	for _, p := range prog.Packages {
+		ps, malformed := collectSuppressions(p)
+		sups = append(sups, ps...)
+		diags = append(diags, malformed...)
+	}
+	diags, used := applySuppressions(diags, sups)
+	if prog.FullModule {
+		for i, s := range sups {
+			if !used[i] {
+				diags = append(diags, Diagnostic{
+					File: s.file, Line: s.line, Col: s.col,
+					Analyzer: "staleignore",
+					Message: fmt.Sprintf("//lint:ignore %s directive suppresses nothing; the finding was fixed — delete the directive so it cannot mask a future regression",
+						s.names),
+				})
+			}
+		}
+	}
 	SortDiagnostics(diags)
 	return diags
 }
@@ -109,26 +191,39 @@ func (p *Package) diag(pos token.Pos, analyzer, format string, args ...interface
 type suppression struct {
 	file      string
 	line      int
+	col       int
+	names     string // the analyzer list as written, for staleignore reports
 	analyzers map[string]bool
 }
 
-// FilterSuppressed drops diagnostics covered by //lint:ignore comments.
-// A directive covers findings on its own line and on the line directly
-// below it (the comment-above-statement idiom). Directives without a
-// reason are themselves reported so suppressions stay auditable.
-func FilterSuppressed(p *Package, diags []Diagnostic) []Diagnostic {
+// collectSuppressions parses the //lint:ignore directives of a package,
+// also validating //lint:hotpath directives (both require a free-text
+// reason). Malformed directives are returned as diagnostics so
+// suppressions and hot-root annotations stay auditable.
+func collectSuppressions(p *Package) ([]suppression, []Diagnostic) {
 	var sups []suppression
+	var malformed []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				pos := p.Fset.Position(c.Pos())
+				if strings.HasPrefix(text, hotAnnotation) {
+					if len(strings.Fields(text)) < 2 {
+						malformed = append(malformed, Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Analyzer: "lint",
+							Message:  "malformed //lint:hotpath directive: want `//lint:hotpath <reason>`",
+						})
+					}
+					continue
+				}
 				if !strings.HasPrefix(text, "lint:ignore") {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) < 3 {
-					diags = append(diags, Diagnostic{
+					malformed = append(malformed, Diagnostic{
 						File: pos.Filename, Line: pos.Line, Col: pos.Column,
 						Analyzer: "lint",
 						Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`",
@@ -139,27 +234,49 @@ func FilterSuppressed(p *Package, diags []Diagnostic) []Diagnostic {
 				for _, n := range strings.Split(fields[1], ",") {
 					names[n] = true
 				}
-				sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: names})
+				sups = append(sups, suppression{
+					file: pos.Filename, line: pos.Line, col: pos.Column,
+					names: fields[1], analyzers: names,
+				})
 			}
 		}
 	}
+	return sups, malformed
+}
+
+// applySuppressions drops diagnostics covered by directives. A
+// directive covers findings on its own line and on the line directly
+// below it (the comment-above-statement idiom). The returned slice
+// records, per directive, whether it suppressed at least one finding.
+func applySuppressions(diags []Diagnostic, sups []suppression) ([]Diagnostic, []bool) {
+	used := make([]bool, len(sups))
 	if len(sups) == 0 {
-		return diags
+		return diags, used
 	}
 	var out []Diagnostic
 	for _, d := range diags {
 		suppressed := false
-		for _, s := range sups {
+		for i, s := range sups {
 			if d.File == s.file && (d.Line == s.line || d.Line == s.line+1) &&
 				(s.analyzers[d.Analyzer] || s.analyzers["*"]) {
 				suppressed = true
-				break
+				used[i] = true
 			}
 		}
 		if !suppressed {
 			out = append(out, d)
 		}
 	}
+	return out, used
+}
+
+// FilterSuppressed drops diagnostics covered by //lint:ignore comments
+// in one package. Directives without a reason are themselves reported
+// so suppressions stay auditable.
+func FilterSuppressed(p *Package, diags []Diagnostic) []Diagnostic {
+	sups, malformed := collectSuppressions(p)
+	diags = append(diags, malformed...)
+	out, _ := applySuppressions(diags, sups)
 	return out
 }
 

@@ -70,7 +70,7 @@ func render(diags []Diagnostic) string {
 // with exactly the expected diagnostics, and stays silent on the clean
 // fixture.
 func TestAnalyzerGoldens(t *testing.T) {
-	for _, name := range []string{"determinism", "unitsafety", "orderedoutput", "registry", "errcheck"} {
+	for _, name := range []string{"determinism", "seedflow", "unitsafety", "orderedoutput", "registry", "errcheck"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			a := analyzerByName(t, name)
@@ -121,17 +121,19 @@ func TestSuppression(t *testing.T) {
 	diags := Check(p)
 	got := render(diags)
 	want := "" +
-		"suppressed.go:14: [determinism] time.Now reads the wall clock inside the model; pass timestamps in from the caller\n" +
+		"suppressed.go:14: [seedflow] time.Now reads the wall clock inside the model; pass timestamps in from the caller\n" +
 		"suppressed.go:18: [lint] malformed //lint:ignore directive: want `//lint:ignore <analyzer> <reason>`\n" +
-		"suppressed.go:19: [determinism] time.Now reads the wall clock inside the model; pass timestamps in from the caller\n"
+		"suppressed.go:19: [seedflow] time.Now reads the wall clock inside the model; pass timestamps in from the caller\n"
 	if got != want {
 		t.Errorf("suppression mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 
-// TestCleanRealTree is the self-test the CI gate relies on: the suite
-// must pass over the repository's own packages. Fixture directories are
-// excluded the same way cmd/noclint excludes them.
+// TestCleanRealTree is the self-test the CI gate relies on: the whole
+// suite — per-package and interprocedural analyzers, plus staleignore
+// on the full-module Program — must pass over the repository's own
+// packages. Fixture directories are excluded the same way cmd/noclint
+// excludes them.
 func TestCleanRealTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -164,6 +166,7 @@ func TestCleanRealTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var pkgs []*Package
 	for _, dir := range dirs {
 		p, err := l.Load(dir)
 		if err != nil {
@@ -172,9 +175,12 @@ func TestCleanRealTree(t *testing.T) {
 		if len(p.TypeErrors) > 0 {
 			t.Errorf("%s: type errors: %v", p.ImportPath, p.TypeErrors[0])
 		}
-		if diags := Check(p); len(diags) != 0 {
-			t.Errorf("%s: unexpected findings:\n%s", p.ImportPath, render(diags))
-		}
+		pkgs = append(pkgs, p)
+	}
+	prog := NewProgram(pkgs)
+	prog.FullModule = true
+	if diags := CheckProgram(prog); len(diags) != 0 {
+		t.Errorf("unexpected findings:\n%s", render(diags))
 	}
 }
 

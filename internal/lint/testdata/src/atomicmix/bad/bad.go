@@ -1,0 +1,20 @@
+// Package bad exercises the atomicmix analyzer: a field updated
+// through sync/atomic in one method and read plainly in another.
+package bad
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to hits.
+type Counter struct {
+	hits int64
+}
+
+// Incr updates hits atomically.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read loads hits without synchronization; this races with Incr.
+func (c *Counter) Read() int64 {
+	return c.hits
+}

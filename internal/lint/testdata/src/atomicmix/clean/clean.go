@@ -1,0 +1,18 @@
+// Package clean shows the sanctioned shapes: atomic wrapper types
+// (which cannot be accessed plainly), and plain fields no one touches
+// atomically.
+package clean
+
+import "sync/atomic"
+
+// Counter uses the wrapper type for the shared word.
+type Counter struct {
+	hits atomic.Int64
+	name string
+}
+
+// Incr updates hits through the wrapper.
+func (c *Counter) Incr() { c.hits.Add(1) }
+
+// Label reads a plain field that has no atomic accesses anywhere.
+func (c *Counter) Label() string { return c.name }

@@ -1,28 +1,18 @@
-// Package bad exercises the determinism analyzer: global math/rand use
-// and wall-clock reads inside an internal package.
+// Package bad exercises the determinism analyzer: a raw goroutine
+// inside an internal package. (Entropy-source violations live in the
+// seedflow fixtures since the noclint v2 split.)
 package bad
-
-import (
-	"math/rand"
-	"time"
-)
-
-// Shuffle draws from the process-global source.
-func Shuffle(xs []int) {
-	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
-}
-
-// Jitter draws from the process-global source.
-func Jitter() float64 { return rand.Float64() }
-
-// Stamp reads the wall clock inside the model.
-func Stamp() time.Time { return time.Now() }
-
-// Elapsed reads the wall clock inside the model.
-func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
 
 // Race spawns a raw goroutine inside the model; concurrency must go
 // through internal/parallel's index-addressed runner.
 func Race(xs []int) {
-	go Shuffle(xs)
+	go shuffle(xs)
+}
+
+// shuffle reverses in place; the work itself is fine, launching it on a
+// raw goroutine is not.
+func shuffle(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
 }

@@ -1,0 +1,22 @@
+// Package bad exercises the transitive determinism analyzer: unordered
+// map iteration reachable from a hot root through a helper the
+// per-package pass would not connect to the simulation.
+package bad
+
+// Sim is a toy cycle-driven model.
+type Sim struct {
+	weights map[int]int
+	total   int
+}
+
+// Step is a hot root; route is reachable from it.
+func (s *Sim) Step() {
+	s.route()
+}
+
+// route walks a map in nondeterministic order on the simulation path.
+func (s *Sim) route() {
+	for _, w := range s.weights {
+		s.total += w
+	}
+}

@@ -1,0 +1,24 @@
+// Package clean shows the sanctioned shape on a hot path: collect the
+// map keys, sort them, iterate the sorted slice.
+package clean
+
+import "sort"
+
+// Sim is a toy cycle-driven model.
+type Sim struct {
+	weights map[int]int
+	total   int
+}
+
+// Step is a hot root; the map walk below is the exempt
+// collect-then-sort idiom.
+func (s *Sim) Step() {
+	keys := make([]int, 0, len(s.weights))
+	for k := range s.weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		s.total += s.weights[k]
+	}
+}

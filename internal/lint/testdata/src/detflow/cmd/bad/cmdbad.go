@@ -1,0 +1,17 @@
+// Package bad exercises the transitive determinism analyzer where the
+// per-package rule is silent: this fixture's import path contains
+// /cmd/, so only reachability from a hot root flags the goroutine.
+package bad
+
+// Sim is a toy cycle-driven model living under a cmd/ path.
+type Sim struct{ n int }
+
+// Step is a hot root; the raw goroutine makes its results
+// scheduling-dependent even though the per-package rule waves cmd/
+// packages through.
+func (s *Sim) Step() {
+	go s.work()
+}
+
+// work mutates model state.
+func (s *Sim) work() { s.n++ }

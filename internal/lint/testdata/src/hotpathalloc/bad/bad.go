@@ -1,0 +1,32 @@
+// Package bad exercises the hotpathalloc analyzer: a Step hot root
+// reaching allocation-causing constructs, directly and through a
+// helper.
+package bad
+
+import "fmt"
+
+// Sim is a toy cycle-driven model.
+type Sim struct {
+	queue []int
+}
+
+// Step is a hot root (parameterless, resultless Step method); the
+// append may grow and the helper's constructs are transitively hot.
+func (s *Sim) Step() {
+	s.queue = append(s.queue, 1)
+	s.helper(3)
+}
+
+// helper is reachable from Step, so every construct here is hot.
+func (s *Sim) helper(n int) {
+	m := map[int]int{}
+	xs := []int{n}
+	buf := make([]int, n)
+	f := func() {}
+	fmt.Println(n)
+	box(n)
+	_, _, _, _ = m, xs, buf, f
+}
+
+// box's interface parameter forces callers to box concrete values.
+func box(v interface{}) { _ = v }

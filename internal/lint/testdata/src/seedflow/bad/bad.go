@@ -1,0 +1,26 @@
+// Package bad exercises the seedflow analyzer: global math/rand use,
+// wall-clock reads, and environment reads inside an internal package.
+package bad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Shuffle draws from the process-global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Jitter draws from the process-global source.
+func Jitter() float64 { return rand.Float64() }
+
+// Stamp reads the wall clock inside the model.
+func Stamp() time.Time { return time.Now() }
+
+// Elapsed reads the wall clock inside the model.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Tuned reads the environment inside the model: an unrecorded input.
+func Tuned() string { return os.Getenv("GPUNOC_TUNING") }

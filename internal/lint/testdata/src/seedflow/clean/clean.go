@@ -1,0 +1,23 @@
+// Package clean shows the sanctioned patterns: a seeded *rand.Rand
+// threaded through, timestamps and tuning passed in by the caller.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// NewRNG builds the seeded source; the constructors are allowlisted.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Shuffle uses an explicit seeded source.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Render takes the timestamp from the caller instead of reading the
+// clock.
+func Render(now time.Time) string { return now.Format(time.RFC3339) }
+
+// Tune takes its knob from the config instead of the environment.
+func Tune(knob string) string { return "tuned:" + knob }

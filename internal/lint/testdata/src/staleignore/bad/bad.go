@@ -1,0 +1,12 @@
+// Package bad exercises the staleignore analyzer: a directive whose
+// finding was fixed suppresses nothing and must be deleted.
+package bad
+
+import "time"
+
+// Render takes its timestamp from the caller; the directive below is
+// left over from a time.Now call that no longer exists.
+func Render(now time.Time) string {
+	//lint:ignore seedflow stale: the clock read was removed in a refactor
+	return now.Format(time.RFC3339)
+}

@@ -1,0 +1,11 @@
+// Package clean shows a live directive: it suppresses a real seedflow
+// finding, so staleignore stays silent.
+package clean
+
+import "time"
+
+// Banner deliberately reads the clock for the report header.
+func Banner() time.Time {
+	//lint:ignore seedflow the report banner wants the real wall-clock time
+	return time.Now()
+}

@@ -4,9 +4,9 @@ package suppress
 import "time"
 
 // Banner deliberately reads the clock: the directive above the call
-// suppresses the determinism finding.
+// suppresses the seedflow finding.
 func Banner() time.Time {
-	//lint:ignore determinism the report banner wants the real wall-clock time
+	//lint:ignore seedflow the report banner wants the real wall-clock time
 	return time.Now()
 }
 
@@ -15,6 +15,6 @@ func Unsuppressed() time.Time { return time.Now() }
 
 // Malformed directives (no reason) are themselves reported.
 func MalformedDirective() time.Time {
-	//lint:ignore determinism
+	//lint:ignore seedflow
 	return time.Now()
 }

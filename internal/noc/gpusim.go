@@ -125,14 +125,48 @@ func (mc *mcState) Accept(p *Packet, lastFlit bool, _ int64) bool {
 		mc.admitted = p
 	}
 	if lastFlit {
+		//lint:ignore hotpathalloc queue growth is bounded by queueCap and popRequest compacts in place, keeping capacity; steady-state appends are alloc-free (TestMCQueueSteadyStateDoesNotAllocate)
 		mc.queue = append(mc.queue, p)
 		mc.admitted = nil
 	}
 	return true
 }
 
-// RunGPUSim executes the request/reply simulation.
-func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
+// gpuSim is the per-run state of the request/reply simulation. The
+// per-cycle work is split into //lint:hotpath methods (issue,
+// serviceMCs) so the interprocedural analyzers police it structurally:
+// everything those methods reach must be allocation-free and
+// deterministic. MC and window state is indexed by node ID in slices,
+// not maps — the per-cycle loops touch them constantly, and slice
+// indexing keeps that path free of map-hash work and map-iteration
+// hazards.
+type gpuSim struct {
+	cfg      GPUSimConfig
+	reqFlits int
+	reqNet   *Mesh
+	repNet   *Mesh
+	// mcs lists MC nodes in their fixed service order.
+	mcs []int
+	// mcStates is indexed by node ID (nil for compute nodes).
+	mcStates []*mcState
+	// outstanding is indexed by node ID: each compute node's in-flight
+	// request window.
+	outstanding []int
+	compute     []int
+	rng         *rand.Rand
+
+	mcObs          *obs.Registry
+	mcQueueDepth   *obs.Histogram
+	mcBusy         *obs.Counter
+	mcBackpressure *obs.Counter
+	mcServed       *obs.Counter
+	mcTracer       *obs.Tracer
+}
+
+// newGPUSim validates the configuration and builds the meshes, MC
+// bridges, sinks, and instruments. All allocation happens here, before
+// the first cycle.
+func newGPUSim(cfg GPUSimConfig) (*gpuSim, error) {
 	if cfg.ReplyFlits <= 0 || cfg.MCServiceCycles <= 0 || cfg.MCQueue <= 0 || cfg.WindowPerCompute <= 0 {
 		return nil, fmt.Errorf("noc: invalid GPU sim parameters %+v", cfg)
 	}
@@ -154,36 +188,34 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mcs := cfg.MCs
-	if len(mcs) == 0 {
+	g := &gpuSim{cfg: cfg, reqFlits: reqFlits, reqNet: reqNet, repNet: repNet}
+	g.mcs = cfg.MCs
+	if len(g.mcs) == 0 {
 		for x := 0; x < cfg.Mesh.Width; x++ {
-			mcs = append(mcs, reqNet.NodeAt(x, cfg.Mesh.Height-1))
+			g.mcs = append(g.mcs, reqNet.NodeAt(x, cfg.Mesh.Height-1))
 		}
 	}
-	mcStates := make(map[int]*mcState, len(mcs))
-	isMC := make(map[int]bool, len(mcs))
-	for _, n := range mcs {
+	g.mcStates = make([]*mcState, reqNet.Nodes())
+	for _, n := range g.mcs {
 		if n < 0 || n >= reqNet.Nodes() {
 			return nil, fmt.Errorf("noc: MC node %d out of range", n)
 		}
 		st := &mcState{node: n, queueCap: cfg.MCQueue}
-		mcStates[n] = st
-		isMC[n] = true
+		g.mcStates[n] = st
 		reqNet.SetSink(n, st)
 	}
-	var compute []int
-	outstanding := map[int]int{}
+	g.outstanding = make([]int, reqNet.Nodes())
 	for n := 0; n < reqNet.Nodes(); n++ {
-		if !isMC[n] {
-			compute = append(compute, n)
+		if g.mcStates[n] == nil {
+			g.compute = append(g.compute, n)
 		}
 	}
 	// Reply completion decrements the source's outstanding window.
-	for _, n := range compute {
+	for _, n := range g.compute {
 		node := n
 		repNet.SetSink(node, sinkFunc(func(p *Packet, lastFlit bool, _ int64) bool {
 			if lastFlit {
-				outstanding[node]--
+				g.outstanding[node]--
 			}
 			return true
 		}))
@@ -196,14 +228,99 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 	// allocation-free.
 	reqNet.Observe(cfg.Obs.Scope("req"))
 	repNet.Observe(cfg.Obs.Scope("rep"))
-	mcObs := cfg.Obs.Scope("mc")
-	mcQueueDepth := mcObs.Histogram("queue_depth", obs.DepthBounds())
-	mcBusy := mcObs.Counter("busy_cycles")
-	mcBackpressure := mcObs.Counter("reply_backpressure")
-	mcServed := mcObs.Counter("served")
-	mcTracer := mcObs.Tracer()
+	g.mcObs = cfg.Obs.Scope("mc")
+	g.mcQueueDepth = g.mcObs.Histogram("queue_depth", obs.DepthBounds())
+	g.mcBusy = g.mcObs.Counter("busy_cycles")
+	g.mcBackpressure = g.mcObs.Counter("reply_backpressure")
+	g.mcServed = g.mcObs.Counter("served")
+	g.mcTracer = g.mcObs.Tracer()
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	g.rng = rand.New(rand.NewSource(cfg.Seed))
+	return g, nil
+}
+
+// issue lets every compute node fill its outstanding window with read
+// requests to seeded-random MCs. The request packet's Src field already
+// names the node the reply must return to, so no payload is attached:
+// boxing the source index into the any-typed payload parameter was a
+// per-request heap allocation on this path.
+//
+//lint:hotpath per-cycle request-issue loop; runs every simulated cycle
+func (g *gpuSim) issue() error {
+	for _, n := range g.compute {
+		for g.outstanding[n] < g.cfg.WindowPerCompute && g.reqNet.PendingInjection(n) < 4*g.reqFlits {
+			dst := g.mcs[g.rng.Intn(len(g.mcs))]
+			if _, err := g.reqNet.Inject(n, dst, g.reqFlits, nil); err != nil {
+				return err
+			}
+			g.outstanding[n]++
+		}
+	}
+	return nil
+}
+
+// serviceMCs advances every memory controller one cycle: finish DRAM
+// accesses, inject replies, start new accesses. MCs are served in the
+// fixed g.mcs order: when the reply network backpressures, which MC
+// flushes first decides who wins the injection slot, and that must not
+// vary run to run. It returns the number of busy MCs and the number of
+// replies injected this cycle.
+//
+//lint:hotpath per-cycle MC service loop; runs every simulated cycle
+func (g *gpuSim) serviceMCs(measuring bool) (busyNow int, injected int64, err error) {
+	cycle := g.reqNet.Cycle()
+	for _, n := range g.mcs {
+		st := g.mcStates[n]
+		g.mcQueueDepth.Observe(int64(len(st.queue)))
+		// Try to flush a reply whose DRAM access completed but whose
+		// injection is blocked by the reply-network interface.
+		if st.pendingReply != nil && cycle >= st.busyUntil {
+			src := st.pendingReply.Src
+			if g.repNet.PendingInjection(st.node) < 2*g.cfg.ReplyFlits {
+				if _, err := g.repNet.Inject(st.node, src, g.cfg.ReplyFlits, nil); err != nil {
+					return 0, 0, err
+				}
+				injected++
+				st.pendingReply = nil
+				st.served++
+				g.mcServed.Inc()
+				if st.blocked {
+					// Backpressure released: the reply finally left.
+					st.blocked = false
+					g.mcTracer.Instant("mc", "reply_unblocked", cycle, int64(st.node), 0)
+				}
+			} else {
+				// Reply-side backpressure stalls the memory channel.
+				g.mcBackpressure.Inc()
+				if !st.blocked {
+					st.blocked = true
+					g.mcTracer.Instant("mc", "reply_blocked", cycle, int64(st.node),
+						int64(g.repNet.PendingInjection(st.node)))
+				}
+			}
+		}
+		busy := cycle < st.busyUntil
+		if !busy && st.pendingReply == nil && len(st.queue) > 0 {
+			// Start servicing the next request.
+			req := st.popRequest()
+			st.busyUntil = cycle + int64(g.cfg.MCServiceCycles)
+			st.pendingReply = req
+			busy = true
+		}
+		if busy {
+			busyNow++
+			g.mcBusy.Inc()
+			if measuring {
+				st.busyCycles++
+			}
+		}
+	}
+	return busyNow, injected, nil
+}
+
+// run drives the measurement loop and folds the result.
+func (g *gpuSim) run() (*GPUSimResult, error) {
+	cfg := g.cfg
 	res := &GPUSimResult{}
 	var busyTotal, replyInjectTotal int64
 	windowBusy := int64(0)
@@ -211,100 +328,52 @@ func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
 	total := cfg.Warmup + cfg.Cycles
 	for c := 0; c < total; c++ {
 		measuring := c >= cfg.Warmup
-		// Compute nodes issue requests up to their window.
-		for _, n := range compute {
-			for outstanding[n] < cfg.WindowPerCompute && reqNet.PendingInjection(n) < 4*reqFlits {
-				dst := mcs[rng.Intn(len(mcs))]
-				if _, err := reqNet.Inject(n, dst, reqFlits, n); err != nil {
-					return nil, err
-				}
-				outstanding[n]++
-			}
+		if err := g.issue(); err != nil {
+			return nil, err
 		}
-		// MCs: finish DRAM accesses, inject replies, start new accesses.
-		cycle := reqNet.Cycle()
-		busyNow := 0
-		// Service MCs in the fixed mcs order, not map order: when the
-		// reply network backpressures, which MC flushes first decides
-		// who wins the injection slot, and that must not vary run to
-		// run.
-		for _, n := range mcs {
-			st := mcStates[n]
-			mcQueueDepth.Observe(int64(len(st.queue)))
-			// Try to flush a reply whose DRAM access completed but whose
-			// injection is blocked by the reply-network interface.
-			if st.pendingReply != nil && cycle >= st.busyUntil {
-				src := st.pendingReply.Payload.(int)
-				if repNet.PendingInjection(st.node) < 2*cfg.ReplyFlits {
-					if _, err := repNet.Inject(st.node, src, cfg.ReplyFlits, nil); err != nil {
-						return nil, err
-					}
-					if measuring {
-						replyInjectTotal++
-					}
-					st.pendingReply = nil
-					st.served++
-					mcServed.Inc()
-					if st.blocked {
-						// Backpressure released: the reply finally left.
-						st.blocked = false
-						mcTracer.Instant("mc", "reply_unblocked", cycle, int64(st.node), 0)
-					}
-				} else {
-					// Reply-side backpressure stalls the memory channel.
-					mcBackpressure.Inc()
-					if !st.blocked {
-						st.blocked = true
-						mcTracer.Instant("mc", "reply_blocked", cycle, int64(st.node),
-							int64(repNet.PendingInjection(st.node)))
-					}
-				}
-			}
-			busy := cycle < st.busyUntil
-			if !busy && st.pendingReply == nil && len(st.queue) > 0 {
-				// Start servicing the next request.
-				req := st.popRequest()
-				st.busyUntil = cycle + int64(cfg.MCServiceCycles)
-				st.pendingReply = req
-				busy = true
-			}
-			if busy {
-				busyNow++
-				mcBusy.Inc()
-				if measuring {
-					busyTotal++
-					st.busyCycles++
-				}
-			}
+		busyNow, injected, err := g.serviceMCs(measuring)
+		if err != nil {
+			return nil, err
 		}
 		if measuring {
+			busyTotal += int64(busyNow)
+			replyInjectTotal += injected
 			windowBusy += int64(busyNow)
 			if (c-cfg.Warmup+1)%cfg.UtilWindow == 0 {
 				res.UtilSeries = append(res.UtilSeries,
-					float64(windowBusy)/float64(cfg.UtilWindow*len(mcs)))
+					float64(windowBusy)/float64(cfg.UtilWindow*len(g.mcs)))
 				windowBusy = 0
 			}
 		}
-		reqNet.Step()
-		repNet.Step()
+		g.reqNet.Step()
+		g.repNet.Step()
 	}
 
-	for _, n := range mcs {
-		res.RequestsServed += mcStates[n].served
+	for _, n := range g.mcs {
+		res.RequestsServed += g.mcStates[n].served
 	}
 	if cfg.Obs.Enabled() {
 		// Final per-MC state, one gauge each (construction cost only
 		// paid when observed).
-		for _, n := range mcs {
-			st := mcStates[n]
-			mcObs.Gauge(fmt.Sprintf("n%03d/final_queue_depth", st.node)).Set(int64(len(st.queue)))
-			mcObs.Gauge(fmt.Sprintf("n%03d/served", st.node)).Set(st.served)
+		for _, n := range g.mcs {
+			st := g.mcStates[n]
+			g.mcObs.Gauge(fmt.Sprintf("n%03d/final_queue_depth", st.node)).Set(int64(len(st.queue)))
+			g.mcObs.Gauge(fmt.Sprintf("n%03d/served", st.node)).Set(st.served)
 		}
 	}
-	denom := float64(cfg.Cycles * len(mcs))
+	denom := float64(cfg.Cycles * len(g.mcs))
 	res.MemUtilization = float64(busyTotal) / denom
 	res.ReplyInterfaceUtilization = float64(replyInjectTotal) * float64(cfg.ReplyFlits) / denom
 	return res, nil
+}
+
+// RunGPUSim executes the request/reply simulation.
+func RunGPUSim(cfg GPUSimConfig) (*GPUSimResult, error) {
+	g, err := newGPUSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.run()
 }
 
 // sinkFunc adapts a function to the Sink interface.

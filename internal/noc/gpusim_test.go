@@ -108,3 +108,107 @@ func TestGPUSimRequestFlitsDefaults(t *testing.T) {
 		t.Error("negative request flits should fail")
 	}
 }
+
+// The noclint v2 refactor split RunGPUSim's per-cycle loop into hot
+// methods, replaced the MC/window maps with node-indexed slices, and
+// dropped the payload boxing (replies route by Packet.Src). All of that
+// must be behaviour-preserving: these values were captured from the
+// pre-refactor implementation.
+func TestGPUSimGoldenResults(t *testing.T) {
+	small := GPUSimConfig{
+		Mesh:             MeshConfig{Width: 4, Height: 4, BufferFlits: 4, Arbiter: RoundRobin},
+		ReplyFlits:       2,
+		MCServiceCycles:  2,
+		MCQueue:          4,
+		WindowPerCompute: 4,
+		Cycles:           2000,
+		Warmup:           200,
+		UtilWindow:       100,
+		Seed:             7,
+	}
+	res, err := RunGPUSim(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemUtilization != 0.712625 || res.ReplyInterfaceUtilization != 0.712 || res.RequestsServed != 3125 {
+		t.Errorf("small config diverged from pre-refactor capture: util=%v reply=%v served=%d",
+			res.MemUtilization, res.ReplyInterfaceUtilization, res.RequestsServed)
+	}
+	if len(res.UtilSeries) != 20 || res.UtilSeries[0] != 0.6625 || res.UtilSeries[19] != 0.785 {
+		t.Errorf("small config UtilSeries diverged: len=%d first=%v last=%v",
+			len(res.UtilSeries), res.UtilSeries[0], res.UtilSeries[len(res.UtilSeries)-1])
+	}
+
+	def, err := RunGPUSim(DefaultGPUSimConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.MemUtilization != 0.17255 || def.ReplyInterfaceUtilization != 0.5177 || def.RequestsServed != 22807 {
+		t.Errorf("default config diverged from pre-refactor capture: util=%v reply=%v served=%d",
+			def.MemUtilization, def.ReplyInterfaceUtilization, def.RequestsServed)
+	}
+}
+
+// Replies used to find their way home through an int payload boxed into
+// the request packet - a heap allocation per request on the hot path.
+// Now they route by Packet.Src. If that routing broke, each compute
+// node's outstanding window would never drain and the sim would serve
+// at most one request per node.
+func TestGPUSimRepliesReturnToRequester(t *testing.T) {
+	cfg := GPUSimConfig{
+		Mesh:             MeshConfig{Width: 4, Height: 4, BufferFlits: 4, Arbiter: RoundRobin},
+		ReplyFlits:       2,
+		MCServiceCycles:  1,
+		MCQueue:          8,
+		WindowPerCompute: 1, // every served request needs its reply home before the next issues
+		Cycles:           3000,
+		Warmup:           0,
+		UtilWindow:       100,
+		Seed:             3,
+	}
+	res, err := RunGPUSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := int64(cfg.Mesh.Width*cfg.Mesh.Height - cfg.Mesh.Width)
+	if res.RequestsServed <= 2*compute {
+		t.Errorf("served %d requests with a window of 1; replies are not reaching their requesters", res.RequestsServed)
+	}
+}
+
+// The hotpathalloc analyzer enforces this structurally; this test
+// samples it behaviourally: the per-cycle hot methods allocate nothing
+// when the system is saturated (full windows) or idle (drained MCs).
+func TestGPUSimHotMethodsDoNotAllocate(t *testing.T) {
+	g, err := newGPUSim(GPUSimConfig{
+		Mesh:             MeshConfig{Width: 4, Height: 4, BufferFlits: 4, Arbiter: RoundRobin},
+		ReplyFlits:       2,
+		MCServiceCycles:  2,
+		MCQueue:          4,
+		WindowPerCompute: 4,
+		Cycles:           100,
+		UtilWindow:       10,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate every compute window so issue's fast path runs bare.
+	for _, n := range g.compute {
+		g.outstanding[n] = g.cfg.WindowPerCompute
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if err := g.issue(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("issue() allocates %.1f per cycle at full windows, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, _, err := g.serviceMCs(true); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("serviceMCs() allocates %.1f per cycle when idle, want 0", avg)
+	}
+}

@@ -319,6 +319,7 @@ func (t *Tracer) emit(e event) {
 		t.dropped++
 		return
 	}
+	//lint:ignore hotpathalloc enabled tracing buffers events by design (capped at maxTraceEvents); a nil Tracer - the unobserved default - returns above without touching the buffer
 	t.events = append(t.events, e)
 }
 
