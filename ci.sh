@@ -132,4 +132,60 @@ if ! grep -q "drained" "$tmpdir/serve.log"; then
 	exit 1
 fi
 
+echo "==> nocserve deadline smoke (504 without wedging, abandoned fill caches)"
+# A cold full-fidelity request under a 1ms request budget must 504, tick
+# the timeout counter, and leave the server responsive; the abandoned
+# fill keeps computing in the background, so polling the same tuple
+# eventually answers 200 from the cache — inside the same 1ms budget,
+# because hits never wait.
+"$tmpdir/nocserve" -addr 127.0.0.1:0 -request-timeout 1ms 2>"$tmpdir/deadline.log" &
+deadline_pid=$!
+trap 'kill "$serve_pid" "$deadline_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for _ in $(seq 1 100); do
+	grep -q "listening on" "$tmpdir/deadline.log" && break
+	sleep 0.1
+done
+dport=$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/deadline.log")
+if [ -z "$dport" ]; then
+	echo "deadline nocserve did not report a listening address:" >&2
+	cat "$tmpdir/deadline.log" >&2
+	exit 1
+fi
+dbase="http://127.0.0.1:$dport"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$dbase/v1/v100/fig1")
+if [ "$code" != "504" ]; then
+	echo "cold full-fidelity request under -request-timeout 1ms returned $code, want 504" >&2
+	exit 1
+fi
+if ! curl -sf "$dbase/metricz" | grep -q '"http/timed_out": 1'; then
+	echo "the 504 did not tick http/timed_out on /metricz" >&2
+	curl -sf "$dbase/metricz" >&2 || true
+	exit 1
+fi
+if ! curl -sf "$dbase/healthz" >/dev/null; then
+	echo "nocserve wedged after a timed-out request" >&2
+	exit 1
+fi
+served=""
+for _ in $(seq 1 240); do
+	code=$(curl -s -o /dev/null -w '%{http_code}' "$dbase/v1/v100/fig1")
+	if [ "$code" = "200" ]; then
+		served=1
+		break
+	fi
+	sleep 0.5
+done
+if [ -z "$served" ]; then
+	echo "the abandoned fill never surfaced as a cache hit" >&2
+	curl -sf "$dbase/metricz" >&2 || true
+	exit 1
+fi
+kill -TERM "$deadline_pid"
+wait "$deadline_pid" || true
+if ! grep -q "drained" "$tmpdir/deadline.log"; then
+	echo "deadline nocserve did not drain on SIGTERM:" >&2
+	cat "$tmpdir/deadline.log" >&2
+	exit 1
+fi
+
 echo "==> all checks passed"

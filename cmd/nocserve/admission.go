@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed reports an admission refusal: every computation slot is busy
+// and the wait queue is full. The handler maps it to 429 + Retry-After.
+var errShed = errors.New("server at capacity")
+
+// admission bounds how many result requests may occupy computation
+// slots at once, with a bounded wait queue in front. The zero knobs
+// (maxInflight <= 0) disable it entirely: acquire never blocks and
+// never sheds, preserving the unbounded behavior of earlier builds.
+//
+// The shape is a semaphore channel plus an atomic queue counter rather
+// than a real queue: waiters park on the channel send, so slot handoff
+// order is the runtime's (fairness does not matter — every queued
+// request is equivalent), and the counter only enforces the bound.
+type admission struct {
+	// slots holds one token per in-flight request; nil means unlimited.
+	slots chan struct{}
+	// depth bounds how many callers may wait for a slot at once.
+	depth int64
+	// queued counts callers currently waiting for a slot.
+	queued atomic.Int64
+}
+
+// newAdmission builds the controller; maxInflight <= 0 disables it and
+// queueDepth < 0 is treated as 0 (no waiting: busy means shed).
+func newAdmission(maxInflight, queueDepth int) *admission {
+	a := &admission{}
+	if maxInflight > 0 {
+		a.slots = make(chan struct{}, maxInflight)
+		if queueDepth > 0 {
+			a.depth = int64(queueDepth)
+		}
+	}
+	return a
+}
+
+// acquire claims a computation slot, waiting in the bounded queue when
+// all slots are busy. It returns errShed when the queue is full, or
+// ctx.Err() when the caller's deadline fires or the client disconnects
+// while queued. A nil error means the caller holds a slot and must
+// release it.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.slots == nil {
+		return nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.depth {
+		a.queued.Add(-1)
+		return errShed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the caller's slot, waking one queued waiter.
+func (a *admission) release() {
+	if a.slots != nil {
+		<-a.slots
+	}
+}

@@ -25,10 +25,27 @@
 // miss (this request simulated), hit (memory), coalesced (shared an
 // in-flight simulation), or spill (loaded from the -spill directory).
 //
+// Deadlines and admission control (all off by default):
+//
+//	-request-timeout D   per-request wall-time budget; expiry returns
+//	                     504 while the in-flight simulation keeps
+//	                     running and still populates the cache, so a
+//	                     retry of the same tuple is a hit
+//	-max-inflight N      concurrently admitted result requests
+//	-queue-depth N       requests allowed to wait for a slot; overflow
+//	                     is shed with 429 + Retry-After: 1
+//	-negative-ttl D      window during which retries of a key whose
+//	                     simulation just failed are refused with the
+//	                     original error instead of re-simulating
+//	-read-timeout D      net/http ReadTimeout (full request read)
+//	-idle-timeout D      net/http IdleTimeout (keep-alive connections)
+//
 // -prewarm quick|full simulates the whole supported (gpu, experiment)
 // matrix in the background at startup on the internal/parallel pool, so
-// first requests hit a warm cache. -drain bounds how long shutdown
-// waits for in-flight simulations after SIGINT/SIGTERM.
+// first requests hit a warm cache; it stops at the next pair boundary
+// on SIGINT/SIGTERM and logs how many pairs were warmed, failed, and
+// skipped. -drain bounds how long shutdown waits for in-flight requests
+// and fills after SIGINT/SIGTERM.
 package main
 
 import (
@@ -52,34 +69,60 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		cacheBytes = flag.Int64("cache-bytes", 256<<20, "in-memory result-cache budget in bytes; <= 0 means unbounded")
-		spillDir   = flag.String("spill", "", "directory for the disk spill; empty disables it")
-		prewarm    = flag.String("prewarm", "", "pre-simulate the supported (gpu, exp) matrix in the background: quick, full, or empty to disable")
-		workers    = flag.Int("parallel", 0, "worker-pool size for each simulation's sweeps and the prewarm fan-out; 0 means GOMAXPROCS")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "in-memory result-cache budget in bytes; <= 0 means unbounded")
+		spillDir    = flag.String("spill", "", "directory for the disk spill; empty disables it")
+		prewarm     = flag.String("prewarm", "", "pre-simulate the supported (gpu, exp) matrix in the background: quick, full, or empty to disable")
+		workers     = flag.Int("parallel", 0, "worker-pool size for each simulation's sweeps and the prewarm fan-out; 0 means GOMAXPROCS")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests and fills")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request wall-time budget (504 on expiry; the fill keeps running); 0 disables")
+		maxInflight = flag.Int("max-inflight", 0, "concurrently admitted result requests; 0 means unlimited")
+		queueDepth  = flag.Int("queue-depth", 0, "requests allowed to wait for an admission slot; overflow gets 429")
+		negativeTTL = flag.Duration("negative-ttl", 0, "window during which retries of a just-failed key are refused without re-simulating; 0 disables")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (full request read); 0 disables")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections; 0 disables")
 	)
 	flag.Parse()
 	if *prewarm != "" && *prewarm != "quick" && *prewarm != "full" {
 		fatal(fmt.Errorf("-prewarm must be quick, full, or empty (got %q)", *prewarm))
 	}
 
+	// The signal context is the store's Base: cancelling it (SIGINT,
+	// SIGTERM) aborts in-flight simulations at their next sweep-row
+	// checkpoint and stops the prewarm at its next pair boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	reg := obs.New()
 	t0 := time.Now()
 	store, err := resultstore.New(resultstore.Options{
-		Compute:  newComputer(*workers),
-		MaxBytes: *cacheBytes,
-		SpillDir: *spillDir,
-		Obs:      reg.Scope("resultstore"),
-		Clock:    func() time.Duration { return time.Since(t0) },
+		Compute:     newComputer(*workers),
+		Base:        ctx,
+		MaxBytes:    *cacheBytes,
+		SpillDir:    *spillDir,
+		NegativeTTL: *negativeTTL,
+		Obs:         reg.Scope("resultstore"),
+		Clock:       func() time.Duration { return time.Since(t0) },
 	})
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: newServer(store, reg).handler()}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	cfg := serverConfig{requestTimeout: *reqTimeout, maxInflight: *maxInflight, queueDepth: *queueDepth}
+	srv := &http.Server{
+		Handler: newServer(store, reg, cfg).handler(),
+		// ReadHeaderTimeout alone closes the classic slowloris hole: a
+		// client trickling header bytes can no longer pin a connection
+		// (and its goroutine) forever. ReadTimeout then bounds the whole
+		// request read, IdleTimeout reaps parked keep-alives, and the
+		// header cap bounds per-connection memory. There is deliberately
+		// no WriteTimeout: a cold full-fidelity simulation legitimately
+		// takes longer than any fixed write budget, and -request-timeout
+		// already bounds the handler.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    1 << 20,
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -90,7 +133,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "nocserve: listening on %s\n", ln.Addr())
 
 	if *prewarm != "" {
-		go prewarmMatrix(store, *prewarm == "quick", *workers)
+		go prewarmMatrix(ctx, store, *prewarm == "quick", *workers)
 	}
 
 	errCh := make(chan error, 1)
@@ -110,14 +153,28 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(fmt.Errorf("shutdown: %w", err))
 	}
+	// Detached fills (from timed-out or disconnected requests) may still
+	// be publishing into the cache and spill; give them the remainder of
+	// the drain budget. The Base context is already cancelled, so each
+	// stops at its next sweep-row checkpoint rather than running long.
+	fillsDone := make(chan struct{})
+	go func() { store.Wait(); close(fillsDone) }()
+	select {
+	case <-fillsDone:
+	case <-shutdownCtx.Done():
+		fmt.Fprintln(os.Stderr, "nocserve: drain deadline reached with fills still unwinding")
+	}
 	fmt.Fprintln(os.Stderr, "nocserve: drained")
 }
 
 // prewarmMatrix simulates every supported (gpu, exp) pair once on the
 // deterministic parallel pool, populating the cache (and spill) before
 // traffic arrives. Requests racing a prewarm of the same key coalesce
-// onto it rather than simulating twice.
-func prewarmMatrix(store *resultstore.Store, quick bool, workers int) {
+// onto it rather than simulating twice. One pair's failure no longer
+// aborts the sweep or vanishes silently: every pair is attempted, each
+// failure is logged, and the summary line counts warmed vs failed vs
+// skipped. Cancelling ctx (shutdown) skips the pairs not yet dispatched.
+func prewarmMatrix(ctx context.Context, store *resultstore.Store, quick bool, workers int) {
 	type pair struct {
 		gpu gpu.Generation
 		exp string
@@ -130,18 +187,35 @@ func prewarmMatrix(store *resultstore.Store, quick bool, workers int) {
 			}
 		}
 	}
-	err := parallel.ForEach(workers, len(pairs), func(i int) error {
+	errNotDispatched := errors.New("not dispatched")
+	status := make([]error, len(pairs))
+	for i := range status {
+		status[i] = errNotDispatched
+	}
+	// The per-pair fn never returns an error: a failed pair must not
+	// stop the runner from dispatching the remaining pairs. Outcomes
+	// land in index-addressed slots and are tallied after.
+	_ = parallel.ForEachContext(ctx, workers, len(pairs), func(i int) error {
 		key := resultstore.Key{GPU: pairs[i].gpu, Exp: pairs[i].exp, Quick: quick}
-		if _, _, err := store.Get(key); err != nil {
-			return fmt.Errorf("prewarm %s: %w", key, err)
-		}
+		_, _, err := store.GetContext(ctx, key)
+		status[i] = err
 		return nil
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nocserve:", err)
-		return
+	var warmed, failed, skipped int
+	for i, err := range status {
+		switch {
+		case err == nil:
+			warmed++
+		case errors.Is(err, errNotDispatched), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			skipped++
+		default:
+			failed++
+			key := resultstore.Key{GPU: pairs[i].gpu, Exp: pairs[i].exp, Quick: quick}
+			fmt.Fprintf(os.Stderr, "nocserve: prewarm %s: %v\n", key, err)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "nocserve: prewarmed %d results (quick=%v)\n", len(pairs), quick)
+	fmt.Fprintf(os.Stderr, "nocserve: prewarm done: %d warmed, %d failed, %d skipped of %d pairs (quick=%v)\n",
+		warmed, failed, skipped, len(pairs), quick)
 }
 
 func fatal(err error) {

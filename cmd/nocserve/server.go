@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -15,9 +17,12 @@ import (
 // newComputer builds the store's cold-key path: one full experiment run
 // through the same core.RunResult pipeline cmd/nocchar prints from, so
 // every served byte is the CLI's byte. workers sizes each simulation's
-// internal sweep pool.
-func newComputer(workers int) func(resultstore.Key) (*resultstore.Entry, error) {
-	return func(key resultstore.Key) (*resultstore.Entry, error) {
+// internal sweep pool. The context is the store's Base (server drain),
+// never a request's: it reaches the experiment as core's Cancel, so a
+// draining process stops simulating at the next sweep-row checkpoint
+// while request deadlines never abort a shared fill.
+func newComputer(workers int) func(context.Context, resultstore.Key) (*resultstore.Entry, error) {
+	return func(cancel context.Context, key resultstore.Key) (*resultstore.Entry, error) {
 		cfg, err := gpu.ByName(string(key.GPU))
 		if err != nil {
 			return nil, err
@@ -31,6 +36,7 @@ func newComputer(workers int) func(resultstore.Key) (*resultstore.Entry, error) 
 			return nil, err
 		}
 		ctx.Workers = workers
+		ctx.Cancel = cancel
 		res, err := core.RunResult(ctx, e)
 		if err != nil {
 			return nil, err
@@ -54,28 +60,56 @@ func entryFromResult(res *core.Result) (*resultstore.Entry, error) {
 	}, nil
 }
 
+// serverConfig carries the production-ingress knobs from main's flags.
+// The zero value reproduces the pre-deadline behavior exactly: no
+// request deadline, no admission bound.
+type serverConfig struct {
+	// requestTimeout bounds each result request's wall time, queue wait
+	// included; 0 means no deadline. Expiry returns 504 and detaches the
+	// waiter — the shared fill keeps running and still caches.
+	requestTimeout time.Duration
+	// maxInflight bounds concurrently admitted result requests; <= 0
+	// means unlimited.
+	maxInflight int
+	// queueDepth bounds how many requests may wait for a slot when all
+	// maxInflight are busy; overflow is shed with 429 + Retry-After.
+	queueDepth int
+}
+
 // server is the HTTP serving layer over one result store.
 type server struct {
 	store *resultstore.Store
 	// reg is the root registry /metricz renders; the store scopes itself
 	// under "resultstore/", the handler under "http/".
 	reg *obs.Registry
+	cfg serverConfig
+	adm *admission
 
-	requests  *obs.Counter
-	errors    *obs.Counter
-	latencyMS *obs.Histogram
+	requests    *obs.Counter
+	errors      *obs.Counter
+	shed        *obs.Counter
+	timedOut    *obs.Counter
+	canceled    *obs.Counter
+	latencyMS   *obs.Histogram
+	queueWaitMS *obs.Histogram
 }
 
 // newServer wires a server over a store and registry (both required by
 // main; tests may pass a stub store and a fresh registry).
-func newServer(store *resultstore.Store, reg *obs.Registry) *server {
+func newServer(store *resultstore.Store, reg *obs.Registry, cfg serverConfig) *server {
 	h := reg.Scope("http")
 	return &server{
-		store:     store,
-		reg:       reg,
-		requests:  h.Counter("requests"),
-		errors:    h.Counter("errors"),
-		latencyMS: h.Histogram("latency_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
+		store:       store,
+		reg:         reg,
+		cfg:         cfg,
+		adm:         newAdmission(cfg.maxInflight, cfg.queueDepth),
+		requests:    h.Counter("requests"),
+		errors:      h.Counter("errors"),
+		shed:        h.Counter("shed"),
+		timedOut:    h.Counter("timed_out"),
+		canceled:    h.Counter("canceled"),
+		latencyMS:   h.Histogram("latency_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
+		queueWaitMS: h.Histogram("queue_wait_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
 	}
 }
 
@@ -141,9 +175,46 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	quick := r.URL.Query().Get("quick") == "1"
 
-	entry, outcome, err := s.store.Get(resultstore.Key{GPU: cfg.Name, Exp: e.ID, Quick: quick})
+	// Request-scoped cancellation: the client's connection context,
+	// tightened by the configured per-request deadline. It governs this
+	// waiter only — a fired context detaches the request while the
+	// shared fill keeps running under the store's Base and still caches.
+	ctx := r.Context()
+	if s.cfg.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
+		defer cancel()
+	}
+	queuedAt := time.Now()
+	if err := s.adm.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errShed):
+			s.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut.Inc()
+			s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded while queued (limit %s)", s.cfg.requestTimeout))
+		default:
+			// Client disconnected while queued; nobody reads a response.
+			s.canceled.Inc()
+		}
+		return
+	}
+	defer s.adm.release()
+	s.queueWaitMS.Observe(time.Since(queuedAt).Milliseconds())
+
+	entry, outcome, err := s.store.GetContext(ctx, resultstore.Key{GPU: cfg.Name, Exp: e.ID, Quick: quick})
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut.Inc()
+			s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded (limit %s); the result keeps computing and a retry will hit the cache", s.cfg.requestTimeout))
+		case errors.Is(err, context.Canceled):
+			s.canceled.Inc()
+		default:
+			s.fail(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	var body []byte

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,21 +18,34 @@ import (
 	"gpunoc/internal/resultstore"
 )
 
-// newTestServer wires a server over the given compute function and
+// newTestServer wires a server over the given (context-free) compute
+// function with the zero serverConfig — no deadline, no admission — and
 // returns it with its registry and a running httptest listener.
 func newTestServer(t *testing.T, compute func(resultstore.Key) (*resultstore.Entry, error)) (*httptest.Server, *obs.Registry) {
 	t.Helper()
+	ts, _, reg := newConfiguredServer(t, serverConfig{},
+		func(_ context.Context, key resultstore.Key) (*resultstore.Entry, error) { return compute(key) })
+	return ts, reg
+}
+
+// newConfiguredServer is the full-control variant: explicit ingress
+// config and a context-aware compute, with the store exposed so tests
+// can Wait() for detached fills.
+func newConfiguredServer(t *testing.T, cfg serverConfig, compute func(context.Context, resultstore.Key) (*resultstore.Entry, error)) (*httptest.Server, *resultstore.Store, *obs.Registry) {
+	t.Helper()
 	reg := obs.New()
+	t0 := time.Now()
 	store, err := resultstore.New(resultstore.Options{
 		Compute: compute,
 		Obs:     reg.Scope("resultstore"),
+		Clock:   func() time.Duration { return time.Since(t0) },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(store, reg).handler())
+	ts := httptest.NewServer(newServer(store, reg, cfg).handler())
 	t.Cleanup(ts.Close)
-	return ts, reg
+	return ts, store, reg
 }
 
 // get fetches a URL and returns status, X-Cache header, and body.
@@ -138,7 +152,7 @@ func TestServeMatrixByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick matrix in -short mode")
 	}
-	ts, _ := newTestServer(t, newComputer(0))
+	ts, _, _ := newConfiguredServer(t, serverConfig{}, newComputer(0))
 	for _, cfg := range gpu.AllConfigs() {
 		for _, e := range core.All() {
 			if !e.SupportsGPU(cfg.Name) {

@@ -93,7 +93,7 @@ func runFig9(ctx *Context) ([]Artifact, error) {
 			pairs = append(pairs, pair{sm: sm, s: s})
 		}
 	}
-	single, err := parallel.Map(ctx.Workers, len(pairs), func(i int) (float64, error) {
+	single, err := parallel.MapContext(ctx.Cancel, ctx.Workers, len(pairs), func(i int) (float64, error) {
 		return microbench.SliceBandwidth(ctx.Engine, []int{pairs[i].sm}, pairs[i].s)
 	})
 	if err != nil {
@@ -106,7 +106,7 @@ func runFig9(ctx *Context) ([]Artifact, error) {
 	}
 
 	// (c) whole GPC -> single slice, one worker per GPC.
-	gpcBW, err := parallel.Map(ctx.Workers, cfg.GPCs, func(g int) (float64, error) {
+	gpcBW, err := parallel.MapContext(ctx.Cancel, ctx.Workers, cfg.GPCs, func(g int) (float64, error) {
 		return microbench.SliceBandwidth(ctx.Engine, dev.SMsOfGPC(g), 5)
 	})
 	if err != nil {
@@ -128,6 +128,9 @@ func runFig10(ctx *Context) ([]Artifact, error) {
 		Columns: []string{"stage", "SMs", "read speedup", "write speedup", "full"},
 	}
 	add := func(stage string, sms []int) error {
+		if err := ctx.Interrupted(); err != nil {
+			return err
+		}
 		r, err := microbench.Speedup(ctx.Engine, sms, false)
 		if err != nil {
 			return err
@@ -203,6 +206,9 @@ func runFig12(ctx *Context) ([]Artifact, error) {
 		slices = append(slices, s)
 	}
 	for _, sm := range []int{0, cfg.GPCs / 2} {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		y, err := microbench.PerSliceBandwidth(ctx.Engine, sm, slices, ctx.Workers)
 		if err != nil {
 			return nil, err
@@ -256,7 +262,7 @@ func runFig14(ctx *Context) ([]Artifact, error) {
 	// One worker per SM-count point; each point solves its near and far
 	// flows together so the pair stays adjacent in the cache.
 	type point struct{ near, far float64 }
-	pts, err := parallel.Map(ctx.Workers, maxN, func(i int) (point, error) {
+	pts, err := parallel.MapContext(ctx.Cancel, ctx.Workers, maxN, func(i int) (point, error) {
 		n := i + 1
 		bwN, err := microbench.SliceBandwidth(ctx.Engine, sms[:n], nearSlice)
 		if err != nil {
@@ -312,6 +318,9 @@ func runFig15(ctx *Context) ([]Artifact, error) {
 	// (a) all SMs to N slices, contiguous (one MP) vs distributed.
 	ta := &Table{Name: "Fig 15(a): all SMs, slice placement", Columns: []string{"slices", "contiguous MP GB/s", "distributed MP GB/s"}}
 	for _, n := range []int{1, 2, 4} {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		contig := dev.SlicesOfMP(0)[:n]
 		distrib := make([]int, n)
 		for i := range distrib {
@@ -332,6 +341,9 @@ func runFig15(ctx *Context) ([]Artifact, error) {
 	tb := &Table{Name: "Fig 15(b): SM placement, one MP", Columns: []string{"SMs", "contiguous GB/s", "distributed GB/s"}}
 	oneMP := dev.SlicesOfMP(0)
 	for _, n := range []int{14, 28} {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		contig := append(append([]int{}, dev.SMsOfGPC(0)...), dev.SMsOfGPC(1)...)[:n]
 		distrib := allSMs[:n]
 		c, err := run(contig, oneMP)
@@ -348,6 +360,9 @@ func runFig15(ctx *Context) ([]Artifact, error) {
 	// (c) 14 SMs to 1..4 MPs.
 	tc := &Table{Name: "Fig 15(c): 14 SMs, widening MP set", Columns: []string{"MPs", "contiguous SM GB/s", "distributed SM GB/s"}}
 	for _, n := range []int{1, 2, 4} {
+		if err := ctx.Interrupted(); err != nil {
+			return nil, err
+		}
 		c, err := run(dev.SMsOfGPC(0), mpSlices(n))
 		if err != nil {
 			return nil, err

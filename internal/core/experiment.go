@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,11 +24,35 @@ type Context struct {
 	// default. Results are index-addressed, so any value yields
 	// byte-identical artifacts.
 	Workers int
+	// Cancel, when non-nil, lets the caller abort the run early: a
+	// timed-out HTTP request, a draining server, an interrupted sweep.
+	// Experiments consult it only between sweep rows — via Interrupted
+	// and the parallel runner's claim-boundary checks — never inside
+	// simulator Step loops, so the hot paths stay context-free and a
+	// never-cancelled run produces byte-identical artifacts to a nil
+	// Cancel. A partially complete run returns the wrapped context
+	// error and no artifacts.
+	Cancel context.Context
 	// Obs receives the experiment's instruments. Callers that enable
 	// collection (nocchar -metrics/-trace, ReportOptions.Obs) hand each
 	// experiment run its own scope; the nil default runs unobserved at
 	// zero cost and leaves all stdout byte-identical.
 	Obs *obs.Registry
+}
+
+// Interrupted reports whether the run's Cancel context has fired,
+// wrapping its error for the experiment to return as-is. It is the
+// sweep-row cancellation checkpoint: experiments call it between rows
+// and between major phases, and a nil Cancel answers at zero cost, so
+// sprinkling checkpoints is free for every non-serving caller.
+func (c *Context) Interrupted() error {
+	if c.Cancel == nil {
+		return nil
+	}
+	if err := c.Cancel.Err(); err != nil {
+		return fmt.Errorf("core: run canceled: %w", err)
+	}
+	return nil
 }
 
 // NewContext builds a context for a generation config.

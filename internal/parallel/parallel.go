@@ -17,6 +17,11 @@
 //  3. Cancellation is cooperative. After the first failure no NEW
 //     indices are dispatched; tasks already in flight run to completion
 //     (tasks share nothing, so there is nothing to interrupt safely).
+//     MapContext/ForEachContext add an external cancel with the same
+//     shape: a context checked only at task-claim boundaries, so the
+//     task bodies — the simulators' Step loops — never see a context
+//     and stay alloc-free and byte-identical when the context never
+//     fires.
 //
 // The noclint determinism analyzer enforces rule 1 globally: `go`
 // statements inside internal packages are flagged everywhere except
@@ -24,6 +29,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,14 +62,34 @@ func normalize(workers, n int) int {
 // indices; results never pass through a channel, so output is identical
 // for every worker count.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext[T](nil, workers, n, fn)
+}
+
+// MapContext is Map with an external cancel: when ctx is cancelled, no
+// NEW indices are dispatched — exactly the first-error rule applied to a
+// caller-side event — and the call returns ctx.Err() once in-flight
+// tasks finish. The context is consulted only at task-claim boundaries
+// (one Err call per index), never inside fn, so the hot sweep bodies
+// stay context-free; with a nil or never-cancelled ctx the results and
+// allocation profile are identical to Map. When both a task failure and
+// a cancellation occur, the lowest failing index's error wins, matching
+// what a sequential ctx-checking loop would have stopped at.
+func MapContext[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
 	out := make([]T, n)
 	workers = normalize(workers, n)
 	if workers == 1 {
-		// Inline fast path: no goroutines, exact sequential semantics.
+		// Inline fast path: no goroutines, exact sequential semantics
+		// with the claim-boundary check before each task.
 		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -82,7 +108,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				if failed.Load() {
+				if failed.Load() || ctxErr(ctx) != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -101,20 +127,37 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	wg.Wait()
 	// Deterministic error selection: the lowest failing index, exactly
-	// the error the sequential loop above would have returned.
+	// the error the sequential loop above would have returned; external
+	// cancellation reports only when no task failed.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// ctxErr is ctx.Err tolerating the nil (no external cancel) context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
 // with Map's dispatch, cancellation, and error-selection semantics, for
 // tasks that write into caller-owned index-addressed storage.
 func ForEach(workers, n int, fn func(i int) error) error {
-	_, err := Map(workers, n, func(i int) (struct{}, error) {
+	return ForEachContext(nil, workers, n, fn)
+}
+
+// ForEachContext is ForEach with MapContext's external cancel.
+func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) error {
+	_, err := MapContext(ctx, workers, n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

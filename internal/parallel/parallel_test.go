@@ -1,9 +1,11 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -125,5 +127,99 @@ func TestForEachPropagatesError(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
+
+// TestMapContextNilAndBackgroundMatchMap pins the no-cancel contract:
+// a nil context and a never-cancelled one reduce to exactly Map's
+// output for every pool size.
+func TestMapContextNilAndBackgroundMatchMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * 3, nil }
+	want, err := Map(4, 17, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		for _, workers := range []int{1, 2, 8} {
+			got, err := MapContext(ctx, workers, 17, fn)
+			if err != nil {
+				t.Fatalf("ctx=%v workers=%d: %v", ctx, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("ctx=%v workers=%d: got %v, want %v", ctx, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestMapContextCancelStopsDispatch wedges the pool's first tasks, then
+// cancels: no new index may be claimed after the cancel, the call must
+// return ctx.Err(), and the in-flight tasks still complete (tasks are
+// never interrupted mid-body).
+func TestMapContextCancelStopsDispatch(t *testing.T) {
+	const n, workers = 1000, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started sync.WaitGroup
+	started.Add(workers)
+	release := make(chan struct{})
+	var ran atomic.Int64
+	go func() {
+		// Once the whole first wave is parked inside its task bodies,
+		// cancel and release: each worker finishes its in-flight task,
+		// observes the dead context at the claim boundary, and exits.
+		started.Wait()
+		cancel()
+		close(release)
+	}()
+	_, err := MapContext(ctx, workers, n, func(i int) (int, error) {
+		ran.Add(1)
+		started.Done()
+		<-release
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != workers {
+		t.Errorf("%d tasks ran; want exactly the %d in flight at cancel time", got, workers)
+	}
+}
+
+// TestMapContextLowestIndexErrorBeatsCancel: when a task has already
+// failed, external cancellation must not mask the deterministic
+// lowest-index error.
+func TestMapContextLowestIndexErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("task failure")
+	_, err := MapContext(ctx, 2, 50, func(i int) (int, error) {
+		if i == 0 {
+			cancel() // cancel and fail in the same breath
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the task's own error to win over ctx.Err()", err)
+	}
+}
+
+// TestForEachContextSkipsUndispatched: with a pre-cancelled context no
+// task runs at all, on both the sequential and pooled paths.
+func TestForEachContextSkipsUndispatched(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEachContext(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d tasks ran under a dead context", workers, ran.Load())
+		}
 	}
 }

@@ -7,11 +7,27 @@
 // can sit behind heavy traffic:
 //
 //   - Singleflight deduplication: N concurrent requests for a cold key
-//     trigger exactly one simulation; the first caller computes on its
-//     own goroutine, later callers block on the in-flight call's channel
-//     and receive the identical entry. The store spawns no goroutines of
-//     its own, so it stays inside the repository's "concurrency lives in
-//     internal/parallel or the caller" rule.
+//     trigger exactly one simulation. The fill runs on one store-owned
+//     goroutine per cold key; every caller — the initiator included — is
+//     a waiter on the in-flight call's channel and receives the
+//     identical entry. Decoupling the fill from any one waiter is what
+//     makes deadlines safe: GetContext waiters detach when their context
+//     fires, and an abandoned fill still runs to completion and
+//     populates the cache (and spill), so a timed-out request's work is
+//     never wasted — the next request for the key is a hit. The fill
+//     goroutine only executes one keyed computation whose result is
+//     index-free and order-free, so it cannot leak scheduling order into
+//     any output; the sweeps inside the computation still shard through
+//     internal/parallel.
+//   - Deadline propagation: fills run under Options.Base (the server's
+//     shutdown context), handed to Options.Compute so a draining process
+//     aborts in-flight simulations at their next sweep-row checkpoint
+//     instead of simulating into the void.
+//   - Negative-result window: a failed fill is remembered for
+//     Options.NegativeTTL of injected-clock time, and retries inside the
+//     window are refused with the original error instead of re-running
+//     the failed simulation — a hot-looping client replaying an erroring
+//     experiment cannot use the store as a CPU amplifier.
 //   - LRU with byte accounting: entries are bounded by a byte budget,
 //     not a count, because artifact payloads span two orders of
 //     magnitude. Eviction picks the least-recently-used entry and breaks
@@ -24,11 +40,12 @@
 //
 // The store never reads the wall clock itself (noclint's determinism
 // analyzer forbids it inside the model); callers inject a monotonic
-// clock for the compute-latency histogram, exactly like
-// core.ReportOptions.Stopwatch.
+// clock for the compute-latency histogram and the negative-result
+// window, exactly like core.ReportOptions.Stopwatch.
 package resultstore
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -106,6 +123,9 @@ const (
 	OutcomeCoalesced
 	// OutcomeSpill: served from the disk spill without simulating.
 	OutcomeSpill
+	// OutcomeNegative: the key failed recently and the negative-result
+	// window refused the retry without simulating (error path only).
+	OutcomeNegative
 )
 
 // String implements fmt.Stringer; the values double as X-Cache headers.
@@ -119,6 +139,8 @@ func (o Outcome) String() string {
 		return "coalesced"
 	case OutcomeSpill:
 		return "spill"
+	case OutcomeNegative:
+		return "negative"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -127,29 +149,54 @@ func (o Outcome) String() string {
 type Options struct {
 	// Compute runs the simulation for a cold key. Required. It must be
 	// safe for concurrent invocation with distinct keys; the store
-	// guarantees at most one in-flight invocation per key.
-	Compute func(Key) (*Entry, error)
+	// guarantees at most one in-flight invocation per key. The context
+	// it receives is derived from Base, NOT from any individual waiter:
+	// waiters detaching on their own deadlines leave the computation
+	// running, and only cancelling Base (process shutdown) aborts it.
+	Compute func(ctx context.Context, key Key) (*Entry, error)
+	// Base, when non-nil, is the context every fill runs under;
+	// cancelling it (server drain) makes in-flight computations abort at
+	// their next cancellation checkpoint. Nil means context.Background():
+	// fills always run to completion.
+	Base context.Context
 	// MaxBytes bounds the in-memory entries' total Size; <= 0 means
 	// unbounded. An entry alone exceeding the budget is served but not
 	// cached.
 	MaxBytes int64
 	// SpillDir, when non-empty, enables the disk spill.
 	SpillDir string
+	// NegativeTTL, when > 0, remembers a failed fill for that much
+	// injected-clock time and refuses retries of the key inside the
+	// window with the original error (OutcomeNegative) instead of
+	// re-running the failed simulation. Requires Clock. Fills aborted by
+	// Base cancellation are not remembered — a draining server must not
+	// poison keys for its successor.
+	NegativeTTL time.Duration
 	// Obs receives the store's instruments (hit/miss/coalesced/...
 	// counters, byte and entry gauges, compute-latency histogram); nil
 	// disables collection at zero cost.
 	Obs *obs.Registry
 	// Clock, when non-nil, returns elapsed time from an origin of the
-	// caller's choosing and enables the compute-latency histogram. The
-	// store never reads the wall clock itself.
+	// caller's choosing and enables the compute-latency histogram and
+	// the negative-result window. The store never reads the wall clock
+	// itself.
 	Clock func() time.Duration
 }
 
-// call is one in-flight computation that waiters coalesce onto.
+// call is one in-flight computation that waiters coalesce onto. The
+// fill goroutine owns entry/outcome/err until it closes done; the close
+// is the happens-before edge every waiter reads across.
 type call struct {
-	done  chan struct{}
-	entry *Entry
-	err   error
+	done    chan struct{}
+	entry   *Entry
+	outcome Outcome
+	err     error
+}
+
+// failure is one remembered fill error for the negative-result window.
+type failure struct {
+	at  time.Duration
+	err error
 }
 
 // cached is one resident entry with its recency stamp.
@@ -161,17 +208,21 @@ type cached struct {
 // Store is the cache. It is safe for concurrent use.
 type Store struct {
 	opts Options
+	base context.Context
 
 	mu       sync.Mutex
 	entries  map[Key]*cached
 	inflight map[Key]*call
+	failed   map[Key]failure
 	tick     uint64
 	bytes    int64
+	fills    sync.WaitGroup
 
 	hits, misses, coalesced  *obs.Counter
 	evictions, oversize      *obs.Counter
 	spillLoads, spillStores  *obs.Counter
 	spillErrs, computeErrs   *obs.Counter
+	canceled, negative       *obs.Counter
 	bytesGauge, entriesGauge *obs.Gauge
 	computeMS                *obs.Histogram
 }
@@ -188,15 +239,24 @@ func New(opts Options) (*Store, error) {
 	if opts.Compute == nil {
 		return nil, errors.New("resultstore: Options.Compute is required")
 	}
+	if opts.NegativeTTL > 0 && opts.Clock == nil {
+		return nil, errors.New("resultstore: Options.NegativeTTL requires Options.Clock")
+	}
 	if opts.SpillDir != "" {
 		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
 			return nil, fmt.Errorf("resultstore: spill dir: %w", err)
 		}
 	}
+	base := opts.Base
+	if base == nil {
+		base = context.Background()
+	}
 	s := &Store{
 		opts:     opts,
+		base:     base,
 		entries:  map[Key]*cached{},
 		inflight: map[Key]*call{},
+		failed:   map[Key]failure{},
 
 		hits:         opts.Obs.Counter("hit"),
 		misses:       opts.Obs.Counter("miss"),
@@ -207,6 +267,8 @@ func New(opts Options) (*Store, error) {
 		spillStores:  opts.Obs.Counter("spill_store"),
 		spillErrs:    opts.Obs.Counter("spill_err"),
 		computeErrs:  opts.Obs.Counter("compute_err"),
+		canceled:     opts.Obs.Counter("canceled"),
+		negative:     opts.Obs.Counter("negative"),
 		bytesGauge:   opts.Obs.Gauge("bytes"),
 		entriesGauge: opts.Obs.Gauge("entries"),
 		computeMS:    opts.Obs.Histogram("compute_ms", computeLatencyBounds()),
@@ -216,8 +278,19 @@ func New(opts Options) (*Store, error) {
 
 // Get returns the entry for key, computing it at most once no matter how
 // many callers ask concurrently. The Outcome reports how this particular
-// call was satisfied.
+// call was satisfied. Get never detaches: it waits for the fill however
+// long it takes (GetContext with context.Background()).
 func (s *Store) Get(key Key) (*Entry, Outcome, error) {
+	return s.GetContext(context.Background(), key)
+}
+
+// GetContext is Get with a waiter deadline: when ctx is done before the
+// entry is ready, this caller detaches and receives ctx.Err(), but the
+// in-flight fill — shared with any other waiters — keeps running and
+// still populates the cache, so the abandoned work is served to the
+// next request for the key. Cancelling ctx never cancels the
+// computation; only the store's Base context does that.
+func (s *Store) GetContext(ctx context.Context, key Key) (*Entry, Outcome, error) {
 	s.mu.Lock()
 	if c, ok := s.entries[key]; ok {
 		s.tick++
@@ -227,35 +300,88 @@ func (s *Store) Get(key Key) (*Entry, Outcome, error) {
 		return c.entry, OutcomeHit, nil
 	}
 	if fl, ok := s.inflight[key]; ok {
-		// Coalesce: the computing caller owns the simulation; wait for
-		// its channel close and share the entry it publishes.
+		// Coalesce: the fill goroutine owns the simulation; wait for its
+		// channel close and share the entry it publishes.
 		s.mu.Unlock()
 		s.coalesced.Inc()
-		<-fl.done
-		return fl.entry, OutcomeCoalesced, fl.err
+		return s.wait(ctx, fl, false)
+	}
+	if f, ok := s.failed[key]; ok {
+		if s.opts.Clock()-f.at < s.opts.NegativeTTL {
+			s.mu.Unlock()
+			s.negative.Inc()
+			return nil, OutcomeNegative, f.err
+		}
+		delete(s.failed, key) // window expired; retry for real
 	}
 	fl := &call{done: make(chan struct{})}
 	s.inflight[key] = fl
+	s.fills.Add(1)
 	s.mu.Unlock()
+	// The fill is deliberately detached from every waiter so deadlines
+	// can abandon it without killing it; it runs exactly one keyed,
+	// order-free computation (whose sweeps shard through
+	// internal/parallel), so no scheduling order can reach any output.
+	//lint:ignore determinism the fill goroutine produces a single content-addressed entry with no cross-task ordering; waiter-detachable singleflight cannot run on the initiating caller's goroutine
+	go s.runFill(key, fl)
+	return s.wait(ctx, fl, true)
+}
 
+// wait parks one caller on an in-flight call until the fill publishes
+// or the caller's context fires. The initiator takes the fill's own
+// outcome (miss or spill); every other waiter reports coalesced.
+func (s *Store) wait(ctx context.Context, fl *call, initiator bool) (*Entry, Outcome, error) {
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		// Detach: give up on the result but leave the fill running. A
+		// second chance below avoids reporting a spurious cancellation
+		// when the fill and the deadline race.
+		select {
+		case <-fl.done:
+		default:
+			s.canceled.Inc()
+			return nil, OutcomeCoalesced, ctx.Err()
+		}
+	}
+	if !initiator && fl.err == nil {
+		return fl.entry, OutcomeCoalesced, nil
+	}
+	return fl.entry, fl.outcome, fl.err
+}
+
+// runFill executes one cold key's fill on its own goroutine and
+// publishes the result to every waiter. It runs under the store's Base
+// context — never a waiter's — so abandoned fills complete and cache.
+func (s *Store) runFill(key Key, fl *call) {
+	defer s.fills.Done()
 	entry, outcome, err := s.fill(key)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
 	if err == nil {
 		s.insertLocked(key, entry)
+	} else if s.opts.NegativeTTL > 0 && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// Remember the failure so immediate retries are refused, but
+		// never remember shutdown-induced aborts: they say nothing
+		// about the key.
+		s.failed[key] = failure{at: s.opts.Clock(), err: err}
 	}
 	s.mu.Unlock()
 
 	// Publish to waiters only after the cache state is settled; the
 	// channel close is the happens-before edge waiters read across.
-	fl.entry, fl.err = entry, err
+	fl.entry, fl.outcome, fl.err = entry, outcome, err
 	close(fl.done)
-	return entry, outcome, err
 }
 
+// Wait blocks until every in-flight fill has published. Shutdown paths
+// use it (under their own deadline) to let abandoned fills finish
+// caching; tests use it to prove no fill goroutine outlives its work.
+func (s *Store) Wait() { s.fills.Wait() }
+
 // fill produces the entry for a cold key: from the disk spill when
-// possible, otherwise by running the simulation.
+// possible, otherwise by running the simulation under the Base context.
 func (s *Store) fill(key Key) (*Entry, Outcome, error) {
 	if e, ok := s.loadSpill(key); ok {
 		s.spillLoads.Inc()
@@ -266,7 +392,7 @@ func (s *Store) fill(key Key) (*Entry, Outcome, error) {
 	if s.opts.Clock != nil {
 		start = s.opts.Clock()
 	}
-	e, err := s.opts.Compute(key)
+	e, err := s.opts.Compute(s.base, key)
 	if err != nil {
 		s.computeErrs.Inc()
 		return nil, OutcomeMiss, err

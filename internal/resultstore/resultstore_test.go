@@ -2,6 +2,7 @@ package resultstore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,7 +36,7 @@ type countingComputer struct {
 	gate chan struct{}
 }
 
-func (c *countingComputer) compute(key Key) (*Entry, error) {
+func (c *countingComputer) compute(ctx context.Context, key Key) (*Entry, error) {
 	c.mu.Lock()
 	if c.calls == nil {
 		c.calls = map[Key]int{}
@@ -44,7 +45,14 @@ func (c *countingComputer) compute(key Key) (*Entry, error) {
 	gate := c.gate
 	c.mu.Unlock()
 	if gate != nil {
-		<-gate
+		// The gate deliberately ignores the waiters' contexts: fills are
+		// abandoned by detaching waiters, never interrupted by them.
+		// Only the store's Base context may abort a fill.
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	return fakeEntry(key, c.pad), nil
 }
@@ -262,7 +270,7 @@ func TestDiskSpillRoundTrip(t *testing.T) {
 func TestComputeErrorNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	var calls atomic.Int64
-	s, err := New(Options{Compute: func(Key) (*Entry, error) {
+	s, err := New(Options{Compute: func(context.Context, Key) (*Entry, error) {
 		calls.Add(1)
 		return nil, boom
 	}})
@@ -311,6 +319,186 @@ func TestEvictionTieBreaksToSmallestKey(t *testing.T) {
 	}
 	if !s.Contains(kv) {
 		t.Error("v100 key should have survived the tie")
+	}
+}
+
+// TestDetachedWaiterLeavesFillRunning is the deadline contract in one
+// scene: a waiter with a dead context detaches with ctx.Err() while the
+// fill is wedged open, and when the fill finally completes it still
+// populates the cache — the abandoned work is the next caller's hit.
+func TestDetachedWaiterLeavesFillRunning(t *testing.T) {
+	comp := &countingComputer{gate: make(chan struct{})}
+	reg := obs.New()
+	s, err := New(Options{Compute: comp.compute, Obs: reg.Scope("resultstore")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenV100, "fig1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	detached := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetContext(ctx, k)
+		detached <- err
+	}()
+	for comp.callCount(k) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-detached; !errors.Is(err, context.Canceled) {
+		t.Fatalf("detached waiter err = %v, want context.Canceled", err)
+	}
+	if got := reg.Scope("resultstore").Counter("canceled").Value(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+
+	// The fill is still alive; releasing it must cache the entry.
+	close(comp.gate)
+	s.Wait()
+	if !s.Contains(k) {
+		t.Fatal("abandoned fill did not populate the cache")
+	}
+	if _, out, err := s.Get(k); err != nil || out != OutcomeHit {
+		t.Errorf("post-abandon Get = (%s, %v), want hit", out, err)
+	}
+	if n := comp.callCount(k); n != 1 {
+		t.Errorf("compute ran %d times, want 1 (abandonment must not recompute)", n)
+	}
+}
+
+// TestCoalescedWaiterDetachesIndependently: of two waiters on one
+// in-flight fill, cancelling one leaves the other to receive the entry.
+func TestCoalescedWaiterDetachesIndependently(t *testing.T) {
+	comp := &countingComputer{gate: make(chan struct{})}
+	s, err := New(Options{Compute: comp.compute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenA100, "fig9")
+
+	patient := make(chan error, 1)
+	go func() {
+		_, _, err := s.Get(k)
+		patient <- err
+	}()
+	for comp.callCount(k) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.GetContext(ctx, k); !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter err = %v, want context.Canceled", err)
+	}
+	close(comp.gate)
+	if err := <-patient; err != nil {
+		t.Fatalf("patient waiter err = %v after the other detached", err)
+	}
+	if n := comp.callCount(k); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+}
+
+// TestBaseContextAbortsFills: cancelling the store's Base context — the
+// server-drain path — reaches the Compute function, and the resulting
+// cancellation error is NOT remembered by the negative window.
+func TestBaseContextAbortsFills(t *testing.T) {
+	base, stop := context.WithCancel(context.Background())
+	comp := &countingComputer{gate: make(chan struct{})}
+	var clock atomic.Int64
+	s, err := New(Options{
+		Compute:     comp.compute,
+		Base:        base,
+		NegativeTTL: time.Second,
+		Clock:       func() time.Duration { return time.Duration(clock.Load()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenH100, "fig13")
+	stop()
+	if _, _, err := s.Get(k); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get under a dead Base = %v, want context.Canceled", err)
+	}
+	s.Wait()
+	s.mu.Lock()
+	_, remembered := s.failed[k]
+	s.mu.Unlock()
+	if remembered {
+		t.Error("a Base-cancelled fill was negative-cached; drain aborts must not poison keys")
+	}
+}
+
+// TestNegativeWindowCoalescesRetries: a failed fill is refused for
+// NegativeTTL of injected-clock time with the original error and zero
+// recomputation; past the window the key retries for real, and a
+// success clears the memory entirely.
+func TestNegativeWindowCoalescesRetries(t *testing.T) {
+	boom := errors.New("solver diverged")
+	var clock atomic.Int64 // nanoseconds, driven by hand
+	var calls atomic.Int64
+	var failNext atomic.Bool
+	failNext.Store(true)
+	reg := obs.New()
+	s, err := New(Options{
+		Compute: func(_ context.Context, key Key) (*Entry, error) {
+			calls.Add(1)
+			if failNext.Load() {
+				return nil, boom
+			}
+			return fakeEntry(key, 0), nil
+		},
+		NegativeTTL: 100 * time.Millisecond,
+		Clock:       func() time.Duration { return time.Duration(clock.Load()) },
+		Obs:         reg.Scope("resultstore"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(gpu.GenV100, "fig6")
+
+	if _, _, err := s.Get(k); !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v, want boom", err)
+	}
+	// Rapid retries inside the window: same error, no simulation.
+	for i := 0; i < 5; i++ {
+		clock.Add(int64(10 * time.Millisecond))
+		_, out, err := s.Get(k)
+		if !errors.Is(err, boom) {
+			t.Fatalf("retry %d err = %v, want boom", i, err)
+		}
+		if out != OutcomeNegative {
+			t.Fatalf("retry %d outcome = %s, want negative", i, out)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1 (window must absorb retries)", calls.Load())
+	}
+	if got := reg.Scope("resultstore").Counter("negative").Value(); got != 5 {
+		t.Errorf("negative counter = %d, want 5", got)
+	}
+
+	// Past the window the key retries; let it succeed and stay cached.
+	failNext.Store(false)
+	clock.Add(int64(200 * time.Millisecond))
+	if _, out, err := s.Get(k); err != nil || out != OutcomeMiss {
+		t.Fatalf("post-window Get = (%s, %v), want miss", out, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("compute ran %d times, want 2", calls.Load())
+	}
+	if _, out, _ := s.Get(k); out != OutcomeHit {
+		t.Errorf("Get after success = %s, want hit (negative memory cleared)", out)
+	}
+}
+
+// TestNegativeTTLRequiresClock pins the constructor validation.
+func TestNegativeTTLRequiresClock(t *testing.T) {
+	_, err := New(Options{
+		Compute:     func(context.Context, Key) (*Entry, error) { return nil, nil },
+		NegativeTTL: time.Second,
+	})
+	if err == nil {
+		t.Fatal("New accepted NegativeTTL without a Clock")
 	}
 }
 
