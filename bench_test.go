@@ -20,28 +20,21 @@ import (
 	"gpunoc/internal/kernel"
 	"gpunoc/internal/microbench"
 	"gpunoc/internal/noc"
+	"gpunoc/internal/perfbench"
 	"gpunoc/internal/rsa"
 	"gpunoc/internal/sidechannel"
 	"gpunoc/internal/stats"
 )
 
 // runExperiment executes a registry experiment b.N times in quick mode.
+// It delegates to perfbench.ExperimentLoop, which builds a fresh
+// core.Context inside the timed region each iteration: the old shared
+// Context let state warmed by the first run (engine scratch, device
+// tables) make every later iteration cheaper than the cold path
+// production pays, and b.ReportAllocs was missing entirely.
 func runExperiment(b *testing.B, id string, cfg gpu.Config) {
 	b.Helper()
-	e, err := core.Lookup(id)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ctx, err := core.NewContext(cfg, true)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(ctx); err != nil {
-			b.Fatal(err)
-		}
-	}
+	perfbench.ExperimentLoop(b, id, cfg)
 }
 
 func BenchmarkTableI(b *testing.B)                { runExperiment(b, "table1", gpu.V100()) }

@@ -48,6 +48,22 @@ trap - EXIT
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> nocbench -check (perf ratchet vs bench.baseline.json)"
+# The curated benchmark suite must stay inside each entry's noise
+# budget relative to the committed baseline. -quick keeps the stage
+# cheap; the budgets are generous (default 2.5x) because shared runners
+# are noisy, but stale baseline entries and new unbaselined benchmarks
+# fail exactly like noclint's ratchet.
+go run ./cmd/nocbench -check -quick -baseline bench.baseline.json
+
+echo "==> nocbench seeded-regression smoke"
+# Prove the perf gate bites: a seeded 3x slowdown on mesh_step (via the
+# -slow-by self-test hook) must make -check exit non-zero.
+if go run ./cmd/nocbench -check -quick -bench mesh_step -slow-by mesh_step=3 -baseline bench.baseline.json >/dev/null 2>&1; then
+	echo "nocbench -check passed with a seeded 3x regression; the perf gate is dead" >&2
+	exit 1
+fi
+
 echo "==> nocchar -all parallel determinism smoke (race)"
 # The parallel runner must make pool size invisible: stdout of a full
 # quick sweep is byte-compared between one worker and a wide pool, with

@@ -1,0 +1,235 @@
+// Command nocbench runs the curated performance-benchmark suite
+// (internal/perfbench) against the simulators and serving layer, and
+// ratchets the results against a committed baseline the same way
+// noclint ratchets static findings.
+//
+// Usage:
+//
+//	nocbench                               run the suite, print a table
+//	nocbench -quick                        short benchtime, 3 reps
+//	nocbench -json -label pr               write BENCH_pr.json
+//	nocbench -compare old.json new.json    print per-benchmark deltas
+//	nocbench -check                        measure and fail on regressions
+//	nocbench -write-baseline               refresh bench.baseline.json
+//	nocbench -bench 'mesh|xbar'            restrict to matching names
+//
+// Each benchmark runs through testing.Benchmark -reps times; the
+// reported ns/op is the median of the reps surviving IQR outlier
+// rejection, so one cold-cache or noisy-neighbour rep cannot fail CI.
+//
+// -check compares against -baseline (default bench.baseline.json) under
+// each entry's noise budget: a max ns/op ratio (default 2.5x — generous
+// because CI boxes are shared, but below the 3x regression the CI smoke
+// seeds via -slow-by) and a max allocs/op delta (0 pins the zero-alloc
+// hot paths at exactly zero). It fails on regressions, on measured
+// benchmarks missing from the baseline, and on stale baseline entries
+// naming benchmarks the suite no longer has. -write-baseline refreshes
+// the measurements while preserving existing budgets.
+//
+// -slow-by name=factor multiplies a benchmark's measured ns/op after
+// measurement. It exists so CI can prove the gate bites: a seeded
+// 3x slowdown must make -check exit non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpunoc/internal/perfbench"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "short per-rep benchtime (100ms) and 3 reps")
+		reps      = flag.Int("reps", 0, "median-of-K repetitions per benchmark; 0 means 5 (3 under -quick)")
+		benchtime = flag.String("benchtime", "", "per-rep measurement target in testing -benchtime syntax; empty means 1s (100ms under -quick)")
+		jsonOut   = flag.Bool("json", false, "write the report to BENCH_<label>.json instead of printing a table")
+		label     = flag.String("label", "local", "report label; names the -json output file")
+		compare   = flag.Bool("compare", false, "compare two report files (nocbench -compare old.json new.json) and exit")
+		check     = flag.Bool("check", false, "measure and ratchet against -baseline; exit non-zero on any problem")
+		baseline  = flag.String("baseline", "bench.baseline.json", "baseline file for -check / -write-baseline")
+		writeBase = flag.Bool("write-baseline", false, "measure the full suite and rewrite -baseline, preserving existing budgets")
+		benchRe   = flag.String("bench", "", "regexp restricting which suite benchmarks run")
+		slowBy    = flag.String("slow-by", "", "self-test hook: name=factor[,name=factor] multiplying measured ns/op")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two report files, got %d args", flag.NArg()))
+		}
+		old, err := perfbench.LoadReport(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := perfbench.LoadReport(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		printDeltas(perfbench.Compare(old, cur))
+		return
+	}
+
+	cfg := perfbench.Config{
+		Reps:      *reps,
+		BenchTime: *benchtime,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *quick {
+		if cfg.BenchTime == "" {
+			cfg.BenchTime = "100ms"
+		}
+		if cfg.Reps <= 0 {
+			cfg.Reps = 3
+		}
+	}
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			fatal(fmt.Errorf("-bench: %w", err))
+		}
+		cfg.Filter = re
+	}
+	var err error
+	if cfg.SlowBy, err = parseSlowBy(*slowBy); err != nil {
+		fatal(err)
+	}
+	if *writeBase && cfg.Filter != nil {
+		// A filtered baseline write would drop every other entry and
+		// then fail -check as stale; force the full suite instead.
+		fatal(fmt.Errorf("-write-baseline measures the full suite; drop -bench"))
+	}
+
+	suite := perfbench.Suite()
+	rep, err := perfbench.Run(cfg, suite)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Label = *label
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("-bench %q matched no suite benchmark", *benchRe))
+	}
+
+	switch {
+	case *writeBase:
+		prev, err := perfbench.LoadBaseline(*baseline)
+		if err != nil && !os.IsNotExist(err) {
+			fatal(err)
+		}
+		next := perfbench.NewBaseline(prev, rep, perfbench.DefaultBudgets())
+		if err := next.WriteBaseline(*baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nocbench: wrote %d benchmarks to %s\n", len(next.Benchmarks), *baseline)
+	case *check:
+		base, err := perfbench.LoadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		problems := perfbench.Check(base, rep, perfbench.SuiteNames())
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "nocbench: FAIL %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("nocbench: %d benchmarks within budget of %s\n", len(rep.Benchmarks), *baseline)
+	case *jsonOut:
+		path := "BENCH_" + sanitizeLabel(*label) + ".json"
+		if err := rep.WriteJSON(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nocbench: wrote %s\n", path)
+	default:
+		printReport(rep, suite)
+	}
+}
+
+// parseSlowBy parses "name=factor[,name=factor]".
+func parseSlowBy(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-slow-by: %q is not name=factor", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("-slow-by: bad factor in %q", part)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// sanitizeLabel keeps the -json filename shell-safe.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, label)
+}
+
+func printReport(rep *perfbench.Report, suite []perfbench.Benchmark) {
+	docs := map[string]string{}
+	for _, bm := range suite {
+		docs[bm.Name] = bm.Doc
+	}
+	fmt.Printf("%-18s %14s %10s %10s  %s\n", "benchmark", "ns/op", "B/op", "allocs/op", "metrics")
+	for _, m := range rep.Benchmarks {
+		fmt.Printf("%-18s %14.1f %10d %10d  %s\n", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, metricsString(m.Metrics))
+	}
+	fmt.Println()
+	for _, m := range rep.Benchmarks {
+		fmt.Printf("  %-18s %s\n", m.Name, docs[m.Name])
+	}
+}
+
+func metricsString(metrics map[string]float64) string {
+	if len(metrics) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.3f", k, metrics[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func printDeltas(deltas []perfbench.Delta) {
+	fmt.Printf("%-18s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		switch {
+		case d.OldOnly:
+			fmt.Printf("%-18s %14.1f %14s %8s\n", d.Name, d.OldNs, "-", "gone")
+		case d.NewOnly:
+			fmt.Printf("%-18s %14s %14.1f %8s\n", d.Name, "-", d.NewNs, "new")
+		default:
+			fmt.Printf("%-18s %14.1f %14.1f %7.2fx  allocs %d -> %d\n",
+				d.Name, d.OldNs, d.NewNs, d.Ratio(), d.OldAlloc, d.NewAlloc)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocbench:", err)
+	os.Exit(1)
+}

@@ -72,6 +72,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "in-memory result-cache budget in bytes; <= 0 means unbounded")
 		spillDir    = flag.String("spill", "", "directory for the disk spill; empty disables it")
+		spillMax    = flag.Int64("spill-max-bytes", 0, "disk-spill byte budget; oldest spill files are pruned past it (evicted_spill on /metricz); <= 0 means unbounded")
 		prewarm     = flag.String("prewarm", "", "pre-simulate the supported (gpu, exp) matrix in the background: quick, full, or empty to disable")
 		workers     = flag.Int("parallel", 0, "worker-pool size for each simulation's sweeps and the prewarm fan-out; 0 means GOMAXPROCS")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests and fills")
@@ -96,13 +97,14 @@ func main() {
 	reg := obs.New()
 	t0 := time.Now()
 	store, err := resultstore.New(resultstore.Options{
-		Compute:     newComputer(*workers),
-		Base:        ctx,
-		MaxBytes:    *cacheBytes,
-		SpillDir:    *spillDir,
-		NegativeTTL: *negativeTTL,
-		Obs:         reg.Scope("resultstore"),
-		Clock:       func() time.Duration { return time.Since(t0) },
+		Compute:       newComputer(*workers),
+		Base:          ctx,
+		MaxBytes:      *cacheBytes,
+		SpillDir:      *spillDir,
+		SpillMaxBytes: *spillMax,
+		NegativeTTL:   *negativeTTL,
+		Obs:           reg.Scope("resultstore"),
+		Clock:         func() time.Duration { return time.Since(t0) },
 	})
 	if err != nil {
 		fatal(err)

@@ -24,6 +24,9 @@ const (
 	RoundRobin Arbiter = iota
 	// AgeBased grants the output to the oldest packet, providing global
 	// fairness at the cost of carrying and comparing ages (Fig. 23b).
+	// Exact age ties break to the lowest packet ID (the earliest
+	// injection), so the winner never depends on the order the arbiter
+	// happens to scan input ports or clusters.
 	AgeBased
 )
 
@@ -460,7 +463,10 @@ func (m *Mesh) pickInput(r *router, out int) int {
 	// Free output: head flits (seq 0) requesting it compete.
 	switch m.cfg.Arbiter {
 	case AgeBased:
-		best, bestAge := -1, int64(math.MaxInt64)
+		// Oldest packet wins; an exact age tie breaks to the lowest
+		// packet ID (the earliest-injected packet), never to the scan
+		// order — see TestAgeBasedEqualAgeTieBreaksToLowestID.
+		best, bestAge, bestID := -1, int64(math.MaxInt64), uint64(math.MaxUint64)
 		for p := 0; p < numPorts; p++ {
 			if r.in[p].empty() {
 				continue
@@ -469,8 +475,8 @@ func (m *Mesh) pickInput(r *router, out int) int {
 			if f.seq != 0 || m.route(r.node, f.pkt.Dst) != out {
 				continue
 			}
-			if f.pkt.CreatedAt < bestAge {
-				best, bestAge = p, f.pkt.CreatedAt
+			if f.pkt.CreatedAt < bestAge || (f.pkt.CreatedAt == bestAge && f.pkt.ID < bestID) {
+				best, bestAge, bestID = p, f.pkt.CreatedAt, f.pkt.ID
 			}
 		}
 		return best

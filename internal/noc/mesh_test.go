@@ -312,6 +312,49 @@ func TestMeshPropertyInOrderDelivery(t *testing.T) {
 	}
 }
 
+// TestAgeBasedEqualAgeTieBreaksToLowestID pins the age-based arbiter's
+// tie-break: two packets injected in the same cycle (identical
+// CreatedAt) contending for one output must resolve to the lowest
+// packet ID, not to whichever input port the arbiter scans first. The
+// setup makes the two rules disagree: packet A (ID 1) arrives on the
+// west input, packet B (ID 2) on the east input, and the port scan
+// visits east (port 2) before west (port 4) — a scan-order arbiter
+// would deliver B first.
+func TestAgeBasedEqualAgeTieBreaksToLowestID(t *testing.T) {
+	m, err := NewMesh(MeshConfig{Width: 3, Height: 1, BufferFlits: 4, Arbiter: AgeBased})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []uint64
+	m.SetSink(1, sinkFunc(func(p *Packet, lastFlit bool, _ int64) bool {
+		if lastFlit {
+			order = append(order, p.ID)
+		}
+		return true
+	}))
+	a, err := m.Inject(0, 1, 1, nil) // ID 1, west input of node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Inject(2, 1, 1, nil) // ID 2, east input of node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CreatedAt != b.CreatedAt {
+		t.Fatalf("packets must tie on age: CreatedAt %d vs %d", a.CreatedAt, b.CreatedAt)
+	}
+	if a.ID >= b.ID {
+		t.Fatalf("packet IDs not increasing: %d vs %d", a.ID, b.ID)
+	}
+	m.Run(20)
+	if len(order) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(order))
+	}
+	if order[0] != a.ID {
+		t.Errorf("equal-age tie delivered packet %d first, want lowest ID %d", order[0], a.ID)
+	}
+}
+
 func TestStepSteadyStateDoesNotAllocate(t *testing.T) {
 	// The old fifo.pop resliced q[1:], shrinking the append capacity so
 	// every ~BufferFlits pushes reallocated the buffer (and pinned every

@@ -246,14 +246,18 @@ func (x *Xbar) Step() {
 func (x *Xbar) pickHub(port int) int {
 	switch x.cfg.Arbiter {
 	case AgeBased:
-		best, bestAge := -1, int64(math.MaxInt64)
+		// Oldest packet wins; an exact age tie breaks to the lowest
+		// packet ID, never to the cluster scan order (the same contract
+		// as the mesh arbiter — see TestXbarAgeBasedEqualAgeTieBreak).
+		best, bestAge, bestID := -1, int64(math.MaxInt64), uint64(math.MaxUint64)
 		for c := 0; c < x.cfg.Clusters; c++ {
 			q := x.voq[c][port]
 			if len(q) == 0 {
 				continue
 			}
-			if q[0].pkt.CreatedAt < bestAge {
-				best, bestAge = c, q[0].pkt.CreatedAt
+			pkt := q[0].pkt
+			if pkt.CreatedAt < bestAge || (pkt.CreatedAt == bestAge && pkt.ID < bestID) {
+				best, bestAge, bestID = c, pkt.CreatedAt, pkt.ID
 			}
 		}
 		return best

@@ -48,6 +48,39 @@ func TestXbarInjectValidation(t *testing.T) {
 	}
 }
 
+// TestXbarAgeBasedEqualAgeTieBreak pins the crossbar arbiter's
+// equal-age tie-break to the lowest packet ID. The packet in the
+// higher-numbered cluster is injected first (lower ID), so a
+// scan-order arbiter — which visits cluster 0 first — would pick the
+// wrong winner.
+func TestXbarAgeBasedEqualAgeTieBreak(t *testing.T) {
+	x, err := NewXbar(XbarConfig{
+		Clusters: 2, NodesPerCluster: 1, MemPorts: 1,
+		HubCapacity: 1, PortCapacity: 1, VOQDepth: 4, Arbiter: AgeBased,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := x.Inject(1, 0, 1) // cluster 1, ID 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := x.Inject(0, 0, 1) // cluster 0, ID 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CreatedAt != second.CreatedAt || first.ID >= second.ID {
+		t.Fatalf("setup broken: ages %d/%d, IDs %d/%d",
+			first.CreatedAt, second.CreatedAt, first.ID, second.ID)
+	}
+	x.Step() // hubs pull both flits into their VOQs
+	x.Step() // the port drains exactly one flit: the tie-break winner
+	if x.AcceptedPackets[1] != 1 || x.AcceptedPackets[0] != 0 {
+		t.Errorf("equal-age tie went to cluster 0's packet (ID %d); want lowest ID %d from cluster 1 (accepted: node0=%d node1=%d)",
+			second.ID, first.ID, x.AcceptedPackets[0], x.AcceptedPackets[1])
+	}
+}
+
 func TestXbarDelivery(t *testing.T) {
 	x, err := NewXbar(DefaultXbarFairnessConfig(RoundRobin, 1).Xbar)
 	if err != nil {

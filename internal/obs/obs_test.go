@@ -199,6 +199,67 @@ func TestDisabledInstrumentsDoNotAllocate(t *testing.T) {
 	}
 }
 
+// TestObserveBucketEquivalence pins Observe's binary search to the
+// linear-scan reference it replaced: for every value at, around, and far
+// past each bound, both must land the observation in the same bucket.
+func TestObserveBucketEquivalence(t *testing.T) {
+	layouts := [][]int64{
+		DepthBounds(),
+		{0},
+		{5, 10},
+		{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000},
+		nil, // overflow-only histogram
+	}
+	linear := func(bounds []int64, v int64) int {
+		i := 0
+		for i < len(bounds) && v > bounds[i] {
+			i++
+		}
+		return i
+	}
+	for li, bounds := range layouts {
+		r := New()
+		h := r.Histogram("h", bounds)
+		var values []int64
+		for _, b := range bounds {
+			values = append(values, b-1, b, b+1)
+		}
+		values = append(values, -1000, -1, 0, 1, 1<<40)
+		for _, v := range values {
+			before := h.BucketCounts()
+			h.Observe(v)
+			after := h.BucketCounts()
+			got := -1
+			for i := range after {
+				if after[i] != before[i] {
+					got = i
+					break
+				}
+			}
+			if want := linear(bounds, v); got != want {
+				t.Errorf("layout %d: Observe(%d) hit bucket %d, want %d", li, v, got, want)
+			}
+		}
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	// The enabled Observe path runs per cycle inside Mesh.Step and
+	// Xbar.Step; the binary search must not push its bookkeeping onto the
+	// heap (the old linear scan was alloc-free too — this pins the
+	// replacement).
+	r := New()
+	h := r.Histogram("h", DepthBounds())
+	v := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v = (v + 137) % 2048
+	})
+	if allocs != 0 {
+		t.Errorf("enabled Observe allocates %.1f per op, want 0", allocs)
+	}
+}
+
 func TestInstrumentsAreNamedSingletons(t *testing.T) {
 	r := New()
 	if r.Counter("a") != r.Counter("a") {

@@ -1,0 +1,238 @@
+// Package perfbench is the repository's curated performance-benchmark
+// set and the measurement harness behind cmd/nocbench. The paper's
+// method is measuring opaque hardware with microbenchmarks; this
+// package points the same discipline back at the simulators themselves,
+// so a hot-path regression (a Step loop that starts allocating, a
+// renderer that doubles its time) is caught by CI instead of by a user
+// with a stopwatch.
+//
+// The suite covers one representative of each hot path: the mesh and
+// crossbar Step loops, the gpusim many-to-few-to-many pipeline, the
+// obs histogram observe path, the result store's cold-fill and warm-hit
+// GetContext, the Result renderers, and an end-to-end quick experiment.
+// Each benchmark runs through testing.Benchmark K times; the reported
+// ns/op is the median of the reps that survive IQR outlier rejection,
+// because a CI box's first rep regularly eats a page-fault or
+// frequency-scaling spike that has nothing to do with the code under
+// test. Bytes, allocations, and figure-of-merit metrics take plain
+// medians.
+//
+// Reports serialize to a schema-versioned JSON document; a committed
+// baseline adds a per-benchmark noise budget (a maximum ns/op ratio and
+// a maximum allocation delta) that cmd/nocbench -check enforces as a
+// ratchet, exactly parallel to noclint's finding baseline: regressions
+// fail, and so do stale baseline entries whose benchmark no longer
+// exists — a rename must update the baseline in the same commit.
+package perfbench
+
+import (
+	"flag"
+	"fmt"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// Benchmark is one suite entry: a stable name (the baseline key), the
+// function to measure, and the noise budget a fresh baseline starts
+// with.
+type Benchmark struct {
+	// Name is the stable identifier ("mesh_step"); it keys baseline
+	// entries and the -bench filter, so renaming one is a baseline
+	// change.
+	Name string
+	// Doc is a one-line description for nocbench's table output.
+	Doc string
+	// Fn is the benchmark body, written exactly like a testing
+	// benchmark. It must call b.ReportAllocs so allocation budgets have
+	// data to check.
+	Fn func(b *testing.B)
+	// DefaultBudget seeds the baseline entry written for a benchmark
+	// that has none yet; existing baselines keep their budgets.
+	DefaultBudget Budget
+}
+
+// Budget is one benchmark's tolerated noise envelope.
+type Budget struct {
+	// MaxNsRatio is the largest tolerated current/baseline ns-per-op
+	// ratio; <= 0 means DefaultMaxNsRatio. It is deliberately generous
+	// (shared CI boxes are noisy) but must stay below the 3x factor the
+	// CI smoke seeds, or the gate cannot prove it bites.
+	MaxNsRatio float64 `json:"max_ns_ratio"`
+	// MaxAllocsDelta is how many allocations per op the current run may
+	// add over the baseline. Zero pins a zero-alloc hot path at exactly
+	// zero.
+	MaxAllocsDelta int64 `json:"max_allocs_delta"`
+}
+
+// DefaultMaxNsRatio tolerates a 2.5x slowdown before -check fails:
+// loose enough for timer noise and CPU contention on a shared runner,
+// tight enough to catch the seeded 3x regression smoke and any real
+// algorithmic slip.
+const DefaultMaxNsRatio = 2.5
+
+// Config controls one measurement run.
+type Config struct {
+	// BenchTime is the per-rep measurement target in testing
+	// -benchtime syntax ("1s", "100ms", "200x"); empty keeps the
+	// testing default.
+	BenchTime string
+	// Reps is the median-of-K repetition count; <= 0 means 5.
+	Reps int
+	// Filter, when non-nil, restricts the run to benchmarks whose name
+	// matches.
+	Filter *regexp.Regexp
+	// SlowBy multiplies the measured ns/op of the named benchmarks
+	// after measurement. It exists solely so CI can seed a known
+	// regression and prove -check fails; it is surfaced as the
+	// -slow-by flag and has no other use.
+	SlowBy map[string]float64
+	// Logf, when non-nil, receives one progress line per benchmark.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) reps() int {
+	if c.Reps <= 0 {
+		return 5
+	}
+	return c.Reps
+}
+
+// Run measures the given benchmarks and returns a report with one
+// measurement per benchmark, sorted by name. Benchmarks run strictly
+// sequentially — timing two at once would corrupt both.
+func Run(cfg Config, benches []Benchmark) (*Report, error) {
+	// Outside a test binary the testing flags do not exist until
+	// testing.Init registers them; inside one they are already parsed.
+	// Init is idempotent, so calling it unconditionally covers both.
+	testing.Init()
+	if cfg.BenchTime != "" {
+		f := flag.Lookup("test.benchtime")
+		if f == nil {
+			return nil, fmt.Errorf("perfbench: test.benchtime flag not registered")
+		}
+		prev := f.Value.String()
+		if err := flag.Set("test.benchtime", cfg.BenchTime); err != nil {
+			return nil, fmt.Errorf("perfbench: bad bench time %q: %w", cfg.BenchTime, err)
+		}
+		defer func() { _ = flag.Set("test.benchtime", prev) }()
+	}
+
+	rep := &Report{Schema: Schema}
+	for _, bm := range benches {
+		if cfg.Filter != nil && !cfg.Filter.MatchString(bm.Name) {
+			continue
+		}
+		m, err := measure(cfg, bm)
+		if err != nil {
+			return nil, err
+		}
+		if factor, ok := cfg.SlowBy[bm.Name]; ok {
+			m.NsPerOp *= factor
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("%-18s %12.1f ns/op %8d B/op %6d allocs/op", m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, m)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+// measure runs one benchmark cfg.reps() times and condenses the reps
+// into a single Measurement.
+func measure(cfg Config, bm Benchmark) (Measurement, error) {
+	reps := cfg.reps()
+	var (
+		ns      = make([]float64, 0, reps)
+		bytesPO = make([]float64, 0, reps)
+		allocs  = make([]float64, 0, reps)
+		metrics = map[string][]float64{}
+		lastN   int
+	)
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(bm.Fn)
+		if r.N <= 0 {
+			return Measurement{}, fmt.Errorf("perfbench: %s ran zero iterations (did Fn skip or fail?)", bm.Name)
+		}
+		lastN = r.N
+		ns = append(ns, float64(r.T.Nanoseconds())/float64(r.N))
+		bytesPO = append(bytesPO, float64(r.AllocedBytesPerOp()))
+		allocs = append(allocs, float64(r.AllocsPerOp()))
+		for k, v := range r.Extra {
+			metrics[k] = append(metrics[k], v)
+		}
+	}
+	m := Measurement{
+		Name:        bm.Name,
+		N:           lastN,
+		NsPerOp:     Median(RejectOutliersIQR(ns)),
+		BytesPerOp:  int64(Median(bytesPO)),
+		AllocsPerOp: int64(Median(allocs)),
+	}
+	if len(metrics) > 0 {
+		m.Metrics = map[string]float64{}
+		for k, vs := range metrics {
+			m.Metrics[k] = Median(vs)
+		}
+	}
+	return m, nil
+}
+
+// Median returns the middle value of xs (the mean of the middle two for
+// even lengths); 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// quantile returns the q-quantile of sorted xs with linear
+// interpolation between order statistics.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RejectOutliersIQR drops values outside [Q1 - 1.5*IQR, Q3 + 1.5*IQR] —
+// the standard Tukey fence. It never returns an empty slice: with fewer
+// than 4 samples the fence is meaningless and xs is returned as-is.
+// The typical victim is a first rep inflated by cold caches or a
+// background process stealing the core mid-measurement.
+func RejectOutliersIQR(xs []float64) []float64 {
+	if len(xs) < 4 {
+		return xs
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q1, q3 := quantile(s, 0.25), quantile(s, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-1.5*iqr, q3+1.5*iqr
+	kept := s[:0]
+	for _, v := range s {
+		if v >= lo && v <= hi {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return xs
+	}
+	return kept
+}

@@ -1,0 +1,380 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1}, 2},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestRejectOutliersIQR(t *testing.T) {
+	// A single wild rep — the classic cold-cache first run — must be
+	// dropped; the tight cluster survives.
+	xs := []float64{100, 102, 98, 101, 99, 5000}
+	kept := RejectOutliersIQR(xs)
+	for _, v := range kept {
+		if v == 5000 {
+			t.Fatalf("outlier 5000 survived IQR rejection: %v", kept)
+		}
+	}
+	if len(kept) != 5 {
+		t.Errorf("kept %d values, want 5: %v", len(kept), kept)
+	}
+	// Median after rejection is the cluster's, not dragged by the spike.
+	if m := Median(kept); m < 98 || m > 102 {
+		t.Errorf("median after rejection = %v, want within the cluster", m)
+	}
+	// Fewer than 4 samples: no fence, input unchanged.
+	small := []float64{1, 1000, 2}
+	if got := RejectOutliersIQR(small); !reflect.DeepEqual(got, small) {
+		t.Errorf("small-sample rejection modified input: %v", got)
+	}
+	// All-identical values (IQR = 0) keep everything.
+	same := []float64{5, 5, 5, 5}
+	if got := RejectOutliersIQR(same); len(got) != 4 {
+		t.Errorf("identical values were rejected: %v", got)
+	}
+}
+
+// fakeBench returns a benchmark whose body spins a tiny deterministic
+// loop and reports a metric, so harness tests run in microseconds.
+func fakeBench(name string, metric float64) Benchmark {
+	return Benchmark{
+		Name:          name,
+		Doc:           "test fixture",
+		DefaultBudget: Budget{MaxNsRatio: 2, MaxAllocsDelta: 0},
+		Fn: func(b *testing.B) {
+			b.ReportAllocs()
+			x := 0
+			for i := 0; i < b.N; i++ {
+				x += i
+			}
+			_ = x
+			b.ReportMetric(metric, "fom")
+		},
+	}
+}
+
+func TestRunMeasuresAndSorts(t *testing.T) {
+	benches := []Benchmark{fakeBench("zeta", 2), fakeBench("alpha", 1)}
+	// "50x" pins the iteration count: fast and timer-independent.
+	rep, err := Run(Config{BenchTime: "50x", Reps: 3}, benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("measured %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Name != "alpha" || rep.Benchmarks[1].Name != "zeta" {
+		t.Errorf("report not sorted by name: %v, %v", rep.Benchmarks[0].Name, rep.Benchmarks[1].Name)
+	}
+	for _, m := range rep.Benchmarks {
+		if m.N != 50 {
+			t.Errorf("%s ran N=%d, want the pinned 50", m.Name, m.N)
+		}
+		if m.NsPerOp < 0 {
+			t.Errorf("%s ns/op = %v, want >= 0", m.Name, m.NsPerOp)
+		}
+		if m.AllocsPerOp != 0 {
+			t.Errorf("%s allocs/op = %d, want 0", m.Name, m.AllocsPerOp)
+		}
+	}
+	if got := rep.Benchmarks[0].Metrics["fom"]; got != 1 {
+		t.Errorf("alpha fom metric = %v, want 1", got)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("report schema = %d, want %d", rep.Schema, Schema)
+	}
+}
+
+func TestRunFilterAndSlowBy(t *testing.T) {
+	benches := []Benchmark{fakeBench("keep_me", 0), fakeBench("drop_me", 0)}
+	rep, err := Run(Config{
+		BenchTime: "10x",
+		Reps:      1,
+		Filter:    regexp.MustCompile("^keep"),
+		SlowBy:    map[string]float64{"keep_me": 1e6},
+	}, benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "keep_me" {
+		t.Fatalf("filter kept %v, want only keep_me", rep.Benchmarks)
+	}
+	// A tiny loop multiplied by 1e6 cannot plausibly stay under 1000
+	// ns/op unless the factor was ignored.
+	if rep.Benchmarks[0].NsPerOp < 1000 {
+		t.Errorf("slow-by factor not applied: ns/op = %v", rep.Benchmarks[0].NsPerOp)
+	}
+}
+
+func baselineOf(entries ...BaselineEntry) *Baseline {
+	return &Baseline{Schema: Schema, Benchmarks: entries}
+}
+
+func entry(name string, ns float64, allocs int64, budget Budget) BaselineEntry {
+	return BaselineEntry{
+		Measurement: Measurement{Name: name, N: 100, NsPerOp: ns, AllocsPerOp: allocs},
+		Budget:      budget,
+	}
+}
+
+func reportOf(ms ...Measurement) *Report {
+	return &Report{Schema: Schema, Benchmarks: ms}
+}
+
+func TestCheckPassesWithinBudget(t *testing.T) {
+	base := baselineOf(entry("a", 100, 0, Budget{MaxNsRatio: 2.5}))
+	rep := reportOf(Measurement{Name: "a", NsPerOp: 200, AllocsPerOp: 0})
+	if ps := Check(base, rep, []string{"a"}); len(ps) != 0 {
+		t.Errorf("within-budget run failed: %v", ps)
+	}
+}
+
+func TestCheckFailsOnNsRegression(t *testing.T) {
+	base := baselineOf(entry("a", 100, 0, Budget{MaxNsRatio: 2.5}))
+	rep := reportOf(Measurement{Name: "a", NsPerOp: 300, AllocsPerOp: 0})
+	ps := Check(base, rep, []string{"a"})
+	if len(ps) != 1 || !strings.Contains(ps[0].Msg, "ns/op regressed") {
+		t.Errorf("3x slowdown against a 2.5x budget should fail: %v", ps)
+	}
+}
+
+func TestCheckFailsOnAllocRegression(t *testing.T) {
+	base := baselineOf(entry("hot", 100, 0, Budget{MaxNsRatio: 2.5, MaxAllocsDelta: 0}))
+	rep := reportOf(Measurement{Name: "hot", NsPerOp: 100, AllocsPerOp: 1})
+	ps := Check(base, rep, []string{"hot"})
+	if len(ps) != 1 || !strings.Contains(ps[0].Msg, "allocs/op regressed") {
+		t.Errorf("a zero-alloc hot path gaining an alloc should fail: %v", ps)
+	}
+}
+
+func TestCheckFailsOnMissingAndStaleEntries(t *testing.T) {
+	base := baselineOf(entry("renamed_away", 100, 0, Budget{MaxNsRatio: 2.5}))
+	rep := reportOf(Measurement{Name: "brand_new", NsPerOp: 50})
+	ps := Check(base, rep, []string{"brand_new"})
+	if len(ps) != 2 {
+		t.Fatalf("want 2 problems (missing + stale), got %v", ps)
+	}
+	if ps[0].Name != "brand_new" || !strings.Contains(ps[0].Msg, "not in the baseline") {
+		t.Errorf("missing-entry problem wrong: %v", ps[0])
+	}
+	if ps[1].Name != "renamed_away" || !strings.Contains(ps[1].Msg, "stale") {
+		t.Errorf("stale-entry problem wrong: %v", ps[1])
+	}
+}
+
+func TestCheckSkipsFilteredOutBaselineEntries(t *testing.T) {
+	// "b" is in the baseline and the suite but filtered out of this
+	// run: not a problem.
+	base := baselineOf(
+		entry("a", 100, 0, Budget{MaxNsRatio: 2.5}),
+		entry("b", 100, 0, Budget{MaxNsRatio: 2.5}),
+	)
+	rep := reportOf(Measurement{Name: "a", NsPerOp: 100})
+	if ps := Check(base, rep, []string{"a", "b"}); len(ps) != 0 {
+		t.Errorf("filtered-out baseline entry reported: %v", ps)
+	}
+}
+
+func TestCheckDefaultsZeroNsRatio(t *testing.T) {
+	// A hand-edited baseline with a zero ratio falls back to the
+	// default instead of failing every run.
+	base := baselineOf(entry("a", 100, 0, Budget{}))
+	rep := reportOf(Measurement{Name: "a", NsPerOp: 100 * DefaultMaxNsRatio * 0.9})
+	if ps := Check(base, rep, []string{"a"}); len(ps) != 0 {
+		t.Errorf("zero-ratio budget should default to %vx: %v", DefaultMaxNsRatio, ps)
+	}
+}
+
+func TestCompareMatchesByName(t *testing.T) {
+	old := reportOf(
+		Measurement{Name: "both", NsPerOp: 100, AllocsPerOp: 2},
+		Measurement{Name: "gone", NsPerOp: 50},
+	)
+	cur := reportOf(
+		Measurement{Name: "both", NsPerOp: 150, AllocsPerOp: 3},
+		Measurement{Name: "fresh", NsPerOp: 10},
+	)
+	ds := Compare(old, cur)
+	if len(ds) != 3 {
+		t.Fatalf("want 3 deltas, got %v", ds)
+	}
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["both"]; d.Ratio() != 1.5 || d.OldAlloc != 2 || d.NewAlloc != 3 {
+		t.Errorf("both delta wrong: %+v", d)
+	}
+	if !byName["gone"].OldOnly || byName["gone"].Ratio() != 0 {
+		t.Errorf("gone delta wrong: %+v", byName["gone"])
+	}
+	if !byName["fresh"].NewOnly {
+		t.Errorf("fresh delta wrong: %+v", byName["fresh"])
+	}
+}
+
+func TestNewBaselinePreservesBudgetsAndSeedsDefaults(t *testing.T) {
+	prev := baselineOf(entry("kept", 100, 0, Budget{MaxNsRatio: 9, MaxAllocsDelta: 7}))
+	rep := reportOf(
+		Measurement{Name: "kept", NsPerOp: 120},
+		Measurement{Name: "added", NsPerOp: 10},
+	)
+	next := NewBaseline(prev, rep, map[string]Budget{"added": {MaxNsRatio: 3, MaxAllocsDelta: 1}})
+	if len(next.Benchmarks) != 2 {
+		t.Fatalf("baseline has %d entries, want 2", len(next.Benchmarks))
+	}
+	kept := next.find("kept")
+	if kept == nil || kept.Budget.MaxNsRatio != 9 || kept.Budget.MaxAllocsDelta != 7 {
+		t.Errorf("hand-tuned budget not preserved: %+v", kept)
+	}
+	if kept.NsPerOp != 120 {
+		t.Errorf("measurement not refreshed: %+v", kept)
+	}
+	added := next.find("added")
+	if added == nil || added.Budget.MaxNsRatio != 3 || added.Budget.MaxAllocsDelta != 1 {
+		t.Errorf("default budget not seeded: %+v", added)
+	}
+}
+
+func TestReportRoundTripAndSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	rep := reportOf(Measurement{Name: "a", N: 10, NsPerOp: 1.5, BytesPerOp: 8, AllocsPerOp: 1,
+		Metrics: map[string]float64{"fom": 2}})
+	rep.Label = "t"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round trip changed the report:\n%+v\n%+v", got, rep)
+	}
+	// A future-schema file must be refused, not misread.
+	rep.Schema = Schema + 1
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+// TestReportJSONFieldNamesStable pins the exact serialized field names:
+// BENCH_<label>.json is an interface for external tooling, so a struct
+// tag rename is a schema break and must bump Schema.
+func TestReportJSONFieldNamesStable(t *testing.T) {
+	rep := reportOf(Measurement{Name: "a", N: 10, NsPerOp: 1.5, BytesPerOp: 8, AllocsPerOp: 1,
+		Metrics: map[string]float64{"fom": 2}})
+	rep.Label = "pin"
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":1,"label":"pin","benchmarks":[{"name":"a","n":10,"ns_per_op":1.5,"bytes_per_op":8,"allocs_per_op":1,"metrics":{"fom":2}}]}`
+	if string(data) != want {
+		t.Errorf("report JSON drifted:\n got %s\nwant %s", data, want)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	b := baselineOf(
+		entry("z", 10, 1, Budget{MaxNsRatio: 2, MaxAllocsDelta: 3}),
+		entry("a", 20, 0, Budget{MaxNsRatio: 2.5}),
+	)
+	if err := b.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].Name != "a" || got.Benchmarks[1].Name != "z" {
+		t.Errorf("baseline not sorted on write: %+v", got.Benchmarks)
+	}
+	if got.Benchmarks[1].Budget.MaxAllocsDelta != 3 {
+		t.Errorf("budget lost in round trip: %+v", got.Benchmarks[1])
+	}
+}
+
+func TestSuiteNamesSortedUniqueAndBudgeted(t *testing.T) {
+	names := SuiteNames()
+	if len(names) == 0 {
+		t.Fatal("empty suite")
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("suite not sorted by name: %v", names)
+	}
+	seen := map[string]bool{}
+	budgets := DefaultBudgets()
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate suite name %q", n)
+		}
+		seen[n] = true
+		b, ok := budgets[n]
+		if !ok {
+			t.Errorf("no default budget for %q", n)
+			continue
+		}
+		// Every ns budget must stay below the 3x regression the CI
+		// smoke seeds, or the gate cannot prove it bites.
+		if b.MaxNsRatio <= 0 || b.MaxNsRatio >= 3 {
+			t.Errorf("%s MaxNsRatio = %v, want in (0, 3)", n, b.MaxNsRatio)
+		}
+	}
+	for _, bm := range Suite() {
+		if bm.Fn == nil || bm.Doc == "" {
+			t.Errorf("suite entry %q missing Fn or Doc", bm.Name)
+		}
+	}
+}
+
+// TestSuiteFastPathsRun executes the cheap suite entries end to end
+// with a pinned iteration count, proving the definitions hold together
+// without paying for the simulator-heavy ones in every test run.
+func TestSuiteFastPathsRun(t *testing.T) {
+	rep, err := Run(Config{
+		BenchTime: "30x",
+		Reps:      1,
+		Filter:    regexp.MustCompile("hist_observe|resultstore_warm|resultstore_cold"),
+	}, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("ran %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	for _, m := range rep.Benchmarks {
+		if m.N != 30 {
+			t.Errorf("%s N = %d, want pinned 30", m.Name, m.N)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema is the report and baseline document version. Bump it only for
+// incompatible shape changes; consumers hard-fail on a mismatch rather
+// than misreading fields.
+const Schema = 1
+
+// Measurement is one benchmark's condensed result: the median-of-K
+// numbers described in the package comment. Field names are part of the
+// BENCH_<label>.json contract — tests pin them.
+type Measurement struct {
+	Name string `json:"name"`
+	// N is the iteration count of the last rep, a sanity signal that
+	// the benchmark actually ran long enough to mean something.
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one measurement run: what nocbench -json writes.
+type Report struct {
+	Schema     int           `json:"schema"`
+	Label      string        `json:"label,omitempty"`
+	Benchmarks []Measurement `json:"benchmarks"`
+}
+
+// BaselineEntry is one accepted measurement plus the noise budget its
+// future runs are checked against.
+type BaselineEntry struct {
+	Measurement
+	Budget Budget `json:"budget"`
+}
+
+// Baseline is the committed accepted-performance document
+// (bench.baseline.json).
+type Baseline struct {
+	Schema     int             `json:"schema"`
+	Benchmarks []BaselineEntry `json:"benchmarks"`
+}
+
+// find returns the entry named name, or nil.
+func (b *Baseline) find(name string) *BaselineEntry {
+	for i := range b.Benchmarks {
+		if b.Benchmarks[i].Name == name {
+			return &b.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON marshals the report with stable two-space indentation.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a report file, rejecting schema mismatches.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perfbench: %s: schema %d, this binary speaks %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// LoadBaseline reads a baseline file, rejecting schema mismatches.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("perfbench: %s: schema %d, this binary speaks %d", path, b.Schema, Schema)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the baseline sorted by name.
+func (b *Baseline) WriteBaseline(path string) error {
+	sort.Slice(b.Benchmarks, func(i, j int) bool {
+		return b.Benchmarks[i].Name < b.Benchmarks[j].Name
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NewBaseline folds a fresh report into a baseline: measurements come
+// from the report, budgets from the previous baseline when the entry
+// already existed (a re-measurement must not silently loosen or tighten
+// a hand-tuned budget), and from the suite's defaults otherwise. prev
+// may be nil.
+func NewBaseline(prev *Baseline, rep *Report, defaults map[string]Budget) *Baseline {
+	out := &Baseline{Schema: Schema}
+	for _, m := range rep.Benchmarks {
+		e := BaselineEntry{Measurement: m}
+		if prev != nil {
+			if old := prev.find(m.Name); old != nil {
+				e.Budget = old.Budget
+			}
+		}
+		if e.Budget == (Budget{}) {
+			e.Budget = defaults[m.Name]
+		}
+		if e.Budget.MaxNsRatio <= 0 {
+			e.Budget.MaxNsRatio = DefaultMaxNsRatio
+		}
+		out.Benchmarks = append(out.Benchmarks, e)
+	}
+	return out
+}
+
+// Delta is one benchmark's old-vs-new comparison row.
+type Delta struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	OldOnly  bool // present in old, missing in new
+	NewOnly  bool // present in new, missing in old
+	OldAlloc int64
+	NewAlloc int64
+}
+
+// Ratio returns new/old ns-per-op; 0 when either side is missing.
+func (d Delta) Ratio() float64 {
+	if d.OldOnly || d.NewOnly || d.OldNs == 0 {
+		return 0
+	}
+	return d.NewNs / d.OldNs
+}
+
+// Compare matches two reports by benchmark name and returns one delta
+// per name seen on either side, sorted by name.
+func Compare(old, cur *Report) []Delta {
+	byName := map[string]*Delta{}
+	for _, m := range old.Benchmarks {
+		byName[m.Name] = &Delta{Name: m.Name, OldNs: m.NsPerOp, OldAlloc: m.AllocsPerOp, OldOnly: true}
+	}
+	for _, m := range cur.Benchmarks {
+		d, ok := byName[m.Name]
+		if !ok {
+			d = &Delta{Name: m.Name}
+			byName[m.Name] = d
+		}
+		d.NewNs, d.NewAlloc, d.NewOnly = m.NsPerOp, m.AllocsPerOp, !ok
+		d.OldOnly = false
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Delta, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// Problem is one -check failure.
+type Problem struct {
+	Name string
+	Msg  string
+}
+
+func (p Problem) String() string { return fmt.Sprintf("%s: %s", p.Name, p.Msg) }
+
+// Check ratchets a fresh report against the committed baseline.
+// suiteNames is the full suite's name set (before any -bench filter);
+// it distinguishes "filtered out this run" from "benchmark no longer
+// exists". The rules, mirroring noclint's baseline:
+//
+//   - A measured benchmark over its ns budget or allocation budget is a
+//     regression: fail.
+//   - A measured benchmark absent from the baseline is unaccounted
+//     performance surface: fail (run -write-baseline in the same
+//     change).
+//   - A baseline entry whose name is not in the full suite is stale:
+//     fail, so a renamed or deleted benchmark shrinks the baseline in
+//     the same commit.
+//   - A baseline entry merely filtered out of this run is skipped.
+func Check(base *Baseline, rep *Report, suiteNames []string) []Problem {
+	inSuite := map[string]bool{}
+	for _, n := range suiteNames {
+		inSuite[n] = true
+	}
+	var problems []Problem
+	for _, m := range rep.Benchmarks {
+		e := base.find(m.Name)
+		if e == nil {
+			problems = append(problems, Problem{m.Name,
+				"not in the baseline; run nocbench -write-baseline and commit the result"})
+			continue
+		}
+		ratio := e.Budget.MaxNsRatio
+		if ratio <= 0 {
+			ratio = DefaultMaxNsRatio
+		}
+		if e.NsPerOp > 0 && m.NsPerOp > e.NsPerOp*ratio {
+			problems = append(problems, Problem{m.Name, fmt.Sprintf(
+				"ns/op regressed: %.1f vs baseline %.1f (%.2fx > budget %.2fx)",
+				m.NsPerOp, e.NsPerOp, m.NsPerOp/e.NsPerOp, ratio)})
+		}
+		if m.AllocsPerOp > e.AllocsPerOp+e.Budget.MaxAllocsDelta {
+			problems = append(problems, Problem{m.Name, fmt.Sprintf(
+				"allocs/op regressed: %d vs baseline %d (budget +%d)",
+				m.AllocsPerOp, e.AllocsPerOp, e.Budget.MaxAllocsDelta)})
+		}
+	}
+	for _, e := range base.Benchmarks {
+		if !inSuite[e.Name] {
+			problems = append(problems, Problem{e.Name,
+				"stale baseline entry: no such benchmark in the suite; shrink the baseline"})
+		}
+	}
+	sort.Slice(problems, func(i, j int) bool {
+		if problems[i].Name != problems[j].Name {
+			return problems[i].Name < problems[j].Name
+		}
+		return problems[i].Msg < problems[j].Msg
+	})
+	return problems
+}

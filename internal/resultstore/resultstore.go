@@ -37,6 +37,13 @@
 //     directory under their content address (SHA-256 of the canonical
 //     key string), and cold keys check the spill before simulating, so a
 //     restarted server warms from disk instead of recomputing the world.
+//     The spill is byte-capped (Options.SpillMaxBytes): when a write
+//     pushes the directory past the budget, the oldest spill files are
+//     pruned first — write order for files created this run, (mtime,
+//     name) order for files inherited from a previous process — so a
+//     long-lived server cannot grow the spill without bound. Every
+//     pruned file ticks the evicted_spill counter; the next request for
+//     a pruned key simply recomputes (and re-spills) it.
 //
 // The store never reads the wall clock itself (noclint's determinism
 // analyzer forbids it inside the model); callers inject a monotonic
@@ -53,6 +60,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -165,6 +173,14 @@ type Options struct {
 	MaxBytes int64
 	// SpillDir, when non-empty, enables the disk spill.
 	SpillDir string
+	// SpillMaxBytes bounds the spill directory's total payload bytes;
+	// <= 0 means unbounded. When a spill write pushes the directory past
+	// the budget, the oldest spill files are removed first until it fits
+	// again (the file just written is never its own victim). Files
+	// already present at New — a previous process's spill — are adopted
+	// into the accounting in (mtime, name) order, oldest first, and a
+	// budget tighter than the inherited population prunes immediately.
+	SpillMaxBytes int64
 	// NegativeTTL, when > 0, remembers a failed fill for that much
 	// injected-clock time and refuses retries of the key inside the
 	// window with the original error (OutcomeNegative) instead of
@@ -205,6 +221,13 @@ type cached struct {
 	lastUse uint64
 }
 
+// spillFile is one accounted spill-directory resident. The store keeps
+// these oldest-first, so pruning always pops from the front.
+type spillFile struct {
+	name string // basename inside SpillDir
+	size int64
+}
+
 // Store is the cache. It is safe for concurrent use.
 type Store struct {
 	opts Options
@@ -218,12 +241,22 @@ type Store struct {
 	bytes    int64
 	fills    sync.WaitGroup
 
+	// spillMu guards the spill directory's byte accounting separately
+	// from s.mu: spill writes happen on fill goroutines outside the
+	// entry-map lock, and pruning does file I/O that must never stall a
+	// cache hit.
+	spillMu    sync.Mutex
+	spillBytes int64
+	spillFiles []spillFile // oldest-first; pruning pops from the front
+
 	hits, misses, coalesced  *obs.Counter
 	evictions, oversize      *obs.Counter
 	spillLoads, spillStores  *obs.Counter
 	spillErrs, computeErrs   *obs.Counter
 	canceled, negative       *obs.Counter
+	evictedSpill             *obs.Counter
 	bytesGauge, entriesGauge *obs.Gauge
+	spillBytesGauge          *obs.Gauge
 	computeMS                *obs.Histogram
 }
 
@@ -269,11 +302,70 @@ func New(opts Options) (*Store, error) {
 		computeErrs:  opts.Obs.Counter("compute_err"),
 		canceled:     opts.Obs.Counter("canceled"),
 		negative:     opts.Obs.Counter("negative"),
+		evictedSpill: opts.Obs.Counter("evicted_spill"),
 		bytesGauge:   opts.Obs.Gauge("bytes"),
 		entriesGauge: opts.Obs.Gauge("entries"),
-		computeMS:    opts.Obs.Histogram("compute_ms", computeLatencyBounds()),
+
+		spillBytesGauge: opts.Obs.Gauge("spill_bytes"),
+		computeMS:       opts.Obs.Histogram("compute_ms", computeLatencyBounds()),
+	}
+	if opts.SpillDir != "" {
+		if err := s.adoptSpillDir(); err != nil {
+			return nil, fmt.Errorf("resultstore: spill dir scan: %w", err)
+		}
 	}
 	return s, nil
+}
+
+// adoptSpillDir takes over accounting for spill files a previous process
+// left behind: every *.json file in SpillDir is recorded in (mtime,
+// name) order — the closest durable approximation of its original write
+// order — and a byte budget tighter than the inherited population
+// prunes the oldest files immediately, so a restart with a smaller
+// -spill-max-bytes converges instead of inheriting an oversized spill
+// forever. Stray temp files from a crashed atomic write are removed.
+func (s *Store) adoptSpillDir() error {
+	dirents, err := os.ReadDir(s.opts.SpillDir)
+	if err != nil {
+		return err
+	}
+	type aged struct {
+		spillFile
+		mod time.Time
+	}
+	var files []aged
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, "spill-") && strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(s.opts.SpillDir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with deletion; nothing to account
+		}
+		files = append(files, aged{spillFile{name: name, size: info.Size()}, info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].name < files[j].name
+	})
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	for _, f := range files {
+		s.spillFiles = append(s.spillFiles, f.spillFile)
+		s.spillBytes += f.size
+	}
+	s.pruneSpillLocked()
+	return nil
 }
 
 // Get returns the entry for key, computing it at most once no matter how
@@ -532,4 +624,52 @@ func (s *Store) storeSpill(key Key, e *Entry) {
 		return
 	}
 	s.spillStores.Inc()
+	s.recordSpillWrite(key.ContentAddress()+".json", int64(len(data)))
+}
+
+// recordSpillWrite accounts one completed spill write and prunes the
+// oldest files while the directory exceeds the byte budget. A rewrite
+// of an existing content address (a key recomputed after its spill was
+// pruned elsewhere, or an overwrite with identical bytes) replaces the
+// old record and moves the file to the newest position — it was just
+// written, so it is the freshest thing in the directory.
+func (s *Store) recordSpillWrite(name string, size int64) {
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	for i, f := range s.spillFiles {
+		if f.name == name {
+			s.spillBytes -= f.size
+			s.spillFiles = append(s.spillFiles[:i], s.spillFiles[i+1:]...)
+			break
+		}
+	}
+	s.spillFiles = append(s.spillFiles, spillFile{name: name, size: size})
+	s.spillBytes += size
+	s.pruneSpillLocked()
+}
+
+// pruneSpillLocked removes oldest-first spill files until the directory
+// fits the budget again, never victimizing the sole remaining (newest)
+// file: a single entry larger than the budget is still worth keeping,
+// exactly like insertLocked's oversize rule keeps serving working.
+// Caller holds s.spillMu.
+func (s *Store) pruneSpillLocked() {
+	for s.opts.SpillMaxBytes > 0 && s.spillBytes > s.opts.SpillMaxBytes && len(s.spillFiles) > 1 {
+		victim := s.spillFiles[0]
+		s.spillFiles = s.spillFiles[1:]
+		s.spillBytes -= victim.size
+		if err := os.Remove(filepath.Join(s.opts.SpillDir, victim.name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.spillErrs.Inc()
+		}
+		s.evictedSpill.Inc()
+	}
+	s.spillBytesGauge.Set(s.spillBytes)
+}
+
+// SpillBytes returns the accounted size of the spill directory; 0 when
+// the spill is disabled.
+func (s *Store) SpillBytes() int64 {
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	return s.spillBytes
 }

@@ -502,6 +502,116 @@ func TestNegativeTTLRequiresClock(t *testing.T) {
 	}
 }
 
+// TestSpillByteCapPrunesOldest drives the spill past its byte budget
+// and proves the cap holds: the oldest files are removed first, every
+// removal ticks evicted_spill, and a warm-restarted store on the same
+// directory serves the survivors from spill while recomputing the
+// pruned keys from scratch.
+func TestSpillByteCapPrunesOldest(t *testing.T) {
+	// Learn one spill file's on-disk size with an unbounded probe store,
+	// so the capped store's budget can be sized in entries.
+	probeDir := t.TempDir()
+	probe, err := New(Options{Compute: (&countingComputer{pad: 64}).compute, SpillDir: probeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := probe.Get(key(gpu.GenV100, "ex1")); err != nil {
+		t.Fatal(err)
+	}
+	fileSize := probe.SpillBytes()
+	if fileSize <= 0 {
+		t.Fatalf("probe spill accounted %d bytes, want > 0", fileSize)
+	}
+
+	// Room for two files (all keys render the same payload size), plus
+	// slack for the few bytes of key-string variation.
+	dir := t.TempDir()
+	comp := &countingComputer{pad: 64}
+	reg := obs.New()
+	s, err := New(Options{
+		Compute:       comp.compute,
+		SpillDir:      dir,
+		SpillMaxBytes: 2*fileSize + fileSize/2,
+		Obs:           reg.Scope("resultstore"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{key(gpu.GenV100, "ex1"), key(gpu.GenV100, "ex2"),
+		key(gpu.GenV100, "ex3"), key(gpu.GenV100, "ex4")}
+	for _, k := range keys {
+		if _, out, err := s.Get(k); err != nil || out != OutcomeMiss {
+			t.Fatalf("Get(%s) = (%s, %v), want miss", k, out, err)
+		}
+	}
+	if got := reg.Scope("resultstore").Counter("evicted_spill").Value(); got != 2 {
+		t.Errorf("evicted_spill = %d, want 2 (4 written into a 2-entry budget)", got)
+	}
+	if got := s.SpillBytes(); got > 2*fileSize+fileSize/2 {
+		t.Errorf("spill bytes %d exceed the %d budget", got, 2*fileSize+fileSize/2)
+	}
+	if got := reg.Scope("resultstore").Gauge("spill_bytes").Value(); got != s.SpillBytes() {
+		t.Errorf("spill_bytes gauge = %d, accounting says %d", got, s.SpillBytes())
+	}
+
+	// Warm restart on the pruned directory: the two newest keys load
+	// from spill, the two oldest were pruned and must recompute.
+	comp2 := &countingComputer{pad: 64}
+	s2, err := New(Options{Compute: comp2.compute, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[2:] {
+		if _, out, err := s2.Get(k); err != nil || out != OutcomeSpill {
+			t.Errorf("restarted Get(%s) = (%s, %v), want spill", k, out, err)
+		}
+	}
+	for _, k := range keys[:2] {
+		if _, out, err := s2.Get(k); err != nil || out != OutcomeMiss {
+			t.Errorf("restarted Get(%s) = (%s, %v), want miss (file was pruned)", k, out, err)
+		}
+		if n := comp2.callCount(k); n != 1 {
+			t.Errorf("pruned key %s recomputed %d times, want 1", k, n)
+		}
+	}
+}
+
+// TestSpillAdoptionPrunesInheritedFiles restarts a store over an
+// existing spill population with a budget smaller than the inherited
+// bytes: adoption must prune down to the budget immediately instead of
+// carrying an oversized spill forever.
+func TestSpillAdoptionPrunesInheritedFiles(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := New(Options{Compute: (&countingComputer{pad: 64}).compute, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{key(gpu.GenA100, "ex1"), key(gpu.GenA100, "ex2"), key(gpu.GenA100, "ex3")}
+	for _, k := range keys {
+		if _, _, err := writer.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perFile := writer.SpillBytes() / int64(len(keys))
+
+	reg := obs.New()
+	s, err := New(Options{
+		Compute:       (&countingComputer{pad: 64}).compute,
+		SpillDir:      dir,
+		SpillMaxBytes: perFile + perFile/2, // room for one inherited file
+		Obs:           reg.Scope("resultstore"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Scope("resultstore").Counter("evicted_spill").Value(); got != 2 {
+		t.Errorf("adoption evicted %d files, want 2", got)
+	}
+	if got := s.SpillBytes(); got > perFile+perFile/2 {
+		t.Errorf("adopted spill bytes %d exceed the %d budget", got, perFile+perFile/2)
+	}
+}
+
 func TestKeyCanonicalForm(t *testing.T) {
 	k := Key{GPU: gpu.GenV100, Exp: "fig1", Quick: false}
 	if got := k.String(); got != "v100/fig1?quick=false" {
