@@ -48,6 +48,23 @@ trap - EXIT
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> nocfuzz invariant sweep (race)"
+# The differential oracles (zero-load latency, arbiter low-load
+# equivalence, replay determinism) plus 64 seeded fuzz cases must clear
+# the full invariant audit — flit conservation, occupancy bounds, no
+# duplication, wormhole framing, latency >= Manhattan bound, monotone
+# IDs, Drained()<=>ledger-empty — with the race detector watching.
+go run -race ./cmd/nocfuzz -seeds 64 -budget 30s
+
+echo "==> nocfuzz seeded-sabotage smoke"
+# Prove the harness bites: -break-invariant audits a healthy mesh
+# through a sabotaged tap (a double-counted tail flit) and must exit
+# non-zero with conservation findings, or the invariant gate is dead.
+if go run -race ./cmd/nocfuzz -break-invariant >/dev/null 2>&1; then
+	echo "nocfuzz -break-invariant passed with sabotaged accounting; the invariant gate is dead" >&2
+	exit 1
+fi
+
 echo "==> nocbench -check (perf ratchet vs bench.baseline.json)"
 # The curated benchmark suite must stay inside each entry's noise
 # budget relative to the committed baseline. -quick keeps the stage

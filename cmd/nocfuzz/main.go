@@ -1,0 +1,156 @@
+// Command nocfuzz is the deterministic fuzz driver for the NoC
+// simulators: it sweeps seeded configurations and traffic schedules
+// through internal/simcheck's invariant auditors, shrinks any failing
+// case to a minimal schedule, and prints a compilable reproducer.
+//
+//	nocfuzz -seeds 64 -budget 30s      # the CI sweep: exit 0 iff clean
+//	nocfuzz -break-invariant           # plant a violation; must exit 1
+//
+// Exit status: 0 when every case runs clean, 1 when any invariant is
+// violated (or, under -break-invariant, when the planted violation is
+// caught — the expected outcome; a 0 there means the harness is dead).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpunoc/internal/noc"
+	"gpunoc/internal/simcheck"
+)
+
+func main() {
+	var (
+		seeds          = flag.Int("seeds", 64, "number of seeded cases to run")
+		base           = flag.Int64("base", 1, "first seed of the sweep")
+		budget         = flag.Duration("budget", 30*time.Second, "wall-clock budget for the sweep (0 = unlimited)")
+		breakInvariant = flag.Bool("break-invariant", false, "sabotage the audit bookkeeping; the run must detect it and exit non-zero")
+		verbose        = flag.Bool("v", false, "report every case, not just failures")
+	)
+	flag.Parse()
+
+	if *breakInvariant {
+		os.Exit(runBreakInvariant())
+	}
+	os.Exit(runSweep(*seeds, *base, *budget, *verbose))
+}
+
+// runSweep executes the differential oracles once, then the seeded
+// case sweep. The wall clock (banned inside the model by the seedflow
+// analyzer, fine here in cmd/) only bounds how MANY cases run; it
+// never influences what any case does.
+func runSweep(seeds int, base int64, budget time.Duration, verbose bool) int {
+	start := time.Now()
+	if code := runOracles(verbose); code != 0 {
+		return code
+	}
+	ran := 0
+	for s := base; s < base+int64(seeds); s++ {
+		if budget > 0 && time.Since(start) > budget {
+			fmt.Printf("budget %v exhausted after %d/%d cases; passing on what ran\n", budget, ran, seeds)
+			break
+		}
+		c := simcheck.GenCase(s)
+		rep, err := simcheck.RunCase(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocfuzz: seed %d: %v\n", s, err)
+			return 1
+		}
+		ran++
+		if verbose {
+			fmt.Printf("seed %d: kind=%s injections=%d cycles=%d violations=%d\n",
+				s, c.Kind, len(c.Injections), rep.Cycles, len(rep.Violations))
+		}
+		if !rep.Ok() {
+			reportFailure(c, rep)
+			return 1
+		}
+	}
+	fmt.Printf("nocfuzz: %d cases clean (oracles + seeds %d..%d)\n", ran, base, base+int64(ran)-1)
+	return 0
+}
+
+// runOracles runs the differential oracles on fixed configurations:
+// zero-load latency against the analytical model, arbiter equivalence
+// at zero contention, and replay determinism.
+func runOracles(verbose bool) int {
+	meshCfg := noc.MeshConfig{Width: 4, Height: 4, BufferFlits: 2, Arbiter: noc.RoundRobin}
+	v, err := simcheck.ZeroLoadLatency(meshCfg, []int{1, 3})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocfuzz: zero-load oracle: %v\n", err)
+		return 1
+	}
+	if len(v) == 0 {
+		v, err = simcheck.ArbiterLowLoadEquivalence(meshCfg, 11, 48)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocfuzz: arbiter-equivalence oracle: %v\n", err)
+			return 1
+		}
+	}
+	if len(v) == 0 {
+		steps := [][]uint64{{0x1000, 0x2080, 0x40100}, {}, {0x8000, 0x8080}}
+		cfg := noc.ReplayConfig{
+			Mesh:   noc.MeshConfig{Width: 4, Height: 4, BufferFlits: 4, Arbiter: noc.RoundRobin},
+			PortOf: noc.HashedPortMapping(4),
+		}
+		v, err = simcheck.ReplayDeterminism(cfg, steps, 3)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocfuzz: replay oracle: %v\n", err)
+			return 1
+		}
+	}
+	if len(v) > 0 {
+		fmt.Println("oracle violations:")
+		for _, viol := range v {
+			fmt.Printf("  %s\n", viol)
+		}
+		return 1
+	}
+	if verbose {
+		fmt.Println("oracles clean: zero-load latency, arbiter equivalence, replay determinism")
+	}
+	return 0
+}
+
+// reportFailure shrinks a failing case and prints the violations plus
+// a compilable reproducer for the minimal schedule.
+func reportFailure(c simcheck.Case, rep *simcheck.Report) {
+	fmt.Printf("seed %d violated %d invariant(s):\n", c.Seed, len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	shrunk := simcheck.Shrink(c)
+	srep, err := simcheck.RunCase(shrunk)
+	if err != nil || srep.Ok() {
+		// Shrinking must never lose the failure; fall back to the
+		// original case if it somehow did.
+		shrunk = c
+	}
+	fmt.Printf("shrunk to %d injection(s); reproducer:\n\n%s\n", len(shrunk.Injections), simcheck.Reproducer(shrunk))
+}
+
+// runBreakInvariant plants a bookkeeping corruption in a fixed case
+// and expects the harness to catch it. Exit 1 (violations detected)
+// is the healthy outcome: CI asserts this mode fails, so a clean exit
+// here means the harness lost its teeth.
+func runBreakInvariant() int {
+	c := simcheck.GenCase(1)
+	for c.Kind != "mesh" {
+		c = simcheck.GenCase(c.Seed + 1)
+	}
+	c.Sabotage = simcheck.SabotageDoubleTail
+	rep, err := simcheck.RunCase(c)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocfuzz: break-invariant run: %v\n", err)
+		return 1
+	}
+	if rep.Ok() {
+		fmt.Println("break-invariant: planted corruption went UNDETECTED; the harness is dead")
+		return 0 // CI asserts non-zero, so this surfaces as a CI failure
+	}
+	fmt.Printf("break-invariant: planted corruption detected (%d violations), e.g. %s\n",
+		len(rep.Violations), rep.Violations[0])
+	return 1
+}

@@ -67,10 +67,22 @@ func runDeterminism(p *Package) []Diagnostic {
 		return true
 	})
 	if packageNamed(p, "obs") {
-		diags = append(diags, obsMapOrderDiags(p)...)
+		diags = append(diags, emissionMapOrderDiags(p, obsMapOrderMsg)...)
+	}
+	if packageNamed(p, "simcheck") {
+		diags = append(diags, emissionMapOrderDiags(p, simcheckMapOrderMsg)...)
 	}
 	return diags
 }
+
+// Emission-path map-order messages. obs promises byte-identical metrics
+// and traces; simcheck promises byte-identical violation reports and
+// fuzz reproducers (a counterexample that renders differently run to
+// run cannot be diffed against a ledgered one).
+const (
+	obsMapOrderMsg      = "range over map in an obs emission path iterates in nondeterministic order; collect the keys, sort them, and iterate the sorted slice so metrics and traces stay byte-identical"
+	simcheckMapOrderMsg = "range over map in a simcheck audit path iterates in nondeterministic order; collect the keys, sort them, and iterate the sorted slice so violation reports and reproducers stay byte-identical"
+)
 
 // packageNamed reports whether the package clause names the package
 // name (fixtures live under synthetic import paths, so the clause - not
@@ -84,10 +96,11 @@ func packageNamed(p *Package, name string) bool {
 	return false
 }
 
-// obsMapOrderDiags flags raw map iteration in the obs package. The one
+// emissionMapOrderDiags flags raw map iteration in a package whose
+// output promises byte-identical runs (obs, simcheck). The one
 // sanctioned shape is collect-then-sort: a loop whose whole body
 // appends the key to a slice the function passes to a sort.* call.
-func obsMapOrderDiags(p *Package) []Diagnostic {
+func emissionMapOrderDiags(p *Package, msg string) []Diagnostic {
 	var diags []Diagnostic
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -111,8 +124,7 @@ func obsMapOrderDiags(p *Package) []Diagnostic {
 				if isCollectForSort(rng, sorted) {
 					return true
 				}
-				diags = append(diags, p.diag(rng.Pos(), "determinism",
-					"range over map in an obs emission path iterates in nondeterministic order; collect the keys, sort them, and iterate the sorted slice so metrics and traces stay byte-identical"))
+				diags = append(diags, p.diag(rng.Pos(), "determinism", msg))
 				return true
 			})
 			return true

@@ -19,8 +19,8 @@ import (
 //   - go statements are only flagged here where the per-package rule is
 //     silent (cmd/ packages, internal/parallel, non-internal packages);
 //     inside the model the per-package rule already fires.
-//   - map ranges in packages named obs are left to the per-package
-//     obs-emission rule.
+//   - map ranges in packages named obs or simcheck are left to the
+//     per-package emission rules.
 //
 // The collect-then-sort idiom (append keys to a slice handed to sort.*)
 // stays exempt here exactly as in the obs rule.
@@ -52,7 +52,9 @@ func reachDeterminismDiags(n *cgNode, root string) []Diagnostic {
 	// The per-package determinism pass already flags go statements in
 	// internal model packages; only the gaps need the transitive rule.
 	goCovered := internal && !inCmd && !inParallel
-	isObs := packageNamed(p, "obs")
+	// obs and simcheck get their own per-package map-order rules; the
+	// transitive rule stands down there to avoid double-flagging.
+	perPkgMapRule := packageNamed(p, "obs") || packageNamed(p, "simcheck")
 
 	sorted := sortedIdents(p, n.decl.Body)
 	var diags []Diagnostic
@@ -64,7 +66,7 @@ func reachDeterminismDiags(n *cgNode, root string) []Diagnostic {
 					"go statement spawns a raw goroutine on a simulation path (reachable from %s); results become scheduling-dependent — shard through parallel.Map/ForEach", root))
 			}
 		case *ast.RangeStmt:
-			if isObs {
+			if perPkgMapRule {
 				return true
 			}
 			tv, ok := p.Info.Types[x.X]

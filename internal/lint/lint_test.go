@@ -114,6 +114,27 @@ func TestDeterminismObsEmission(t *testing.T) {
 	}
 }
 
+// TestDeterminismSimcheckEmission proves the same emission rule guards
+// packages named simcheck: the audit harness promises byte-identical
+// violation reports and reproducers, so raw map iteration is flagged
+// there and collect-then-sort stays exempt, exactly as in obs.
+func TestDeterminismSimcheckEmission(t *testing.T) {
+	a := analyzerByName(t, "determinism")
+
+	got := render(a.Run(loadFixture(t, filepath.Join("simcheckaudit", "bad"))))
+	wantBytes, err := os.ReadFile(filepath.Join("testdata", "src", "simcheckaudit", "expected.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("bad fixture diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	if diags := a.Run(loadFixture(t, filepath.Join("simcheckaudit", "clean"))); len(diags) != 0 {
+		t.Errorf("clean fixture produced findings:\n%s", render(diags))
+	}
+}
+
 // TestSuppression proves //lint:ignore drops a finding on the next
 // line, leaves others, and reports malformed directives.
 func TestSuppression(t *testing.T) {

@@ -1,0 +1,30 @@
+// Package simcheck mimics the audit harness's reporting path with raw
+// map iteration; every range here walks a map in nondeterministic
+// order, so violation reports would shuffle run to run.
+package simcheck
+
+import (
+	"fmt"
+	"io"
+)
+
+// anomalies stands in for a per-invariant violation tally.
+var anomalies = map[string]int64{}
+
+// WriteSummary feeds the writer straight from map order.
+func WriteSummary(w io.Writer) {
+	for inv, n := range anomalies {
+		fmt.Fprintf(w, "%s=%d\n", inv, n)
+	}
+}
+
+// Total only accumulates, which is commutative today - but in a
+// reporting package any map walk is one refactor away from ordered
+// output, so the rule flags it anyway.
+func Total() int64 {
+	var s int64
+	for _, n := range anomalies {
+		s += n
+	}
+	return s
+}

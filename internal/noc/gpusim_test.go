@@ -113,7 +113,11 @@ func TestGPUSimRequestFlitsDefaults(t *testing.T) {
 // methods, replaced the MC/window maps with node-indexed slices, and
 // dropped the payload boxing (replies route by Packet.Src). All of that
 // must be behaviour-preserving: these values were captured from the
-// pre-refactor implementation.
+// pre-refactor implementation, then re-captured once for the simcheck
+// round-robin arbiter fix (the pointer used to advance on refused
+// grants; see commitGrant and EXPERIMENTS.md for the figure deltas:
+// served 3125->3123 / 22807->23280, util 0.712625->0.708125 /
+// 0.17255->0.175858...).
 func TestGPUSimGoldenResults(t *testing.T) {
 	small := GPUSimConfig{
 		Mesh:             MeshConfig{Width: 4, Height: 4, BufferFlits: 4, Arbiter: RoundRobin},
@@ -130,11 +134,11 @@ func TestGPUSimGoldenResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.MemUtilization != 0.712625 || res.ReplyInterfaceUtilization != 0.712 || res.RequestsServed != 3125 {
-		t.Errorf("small config diverged from pre-refactor capture: util=%v reply=%v served=%d",
+	if res.MemUtilization != 0.708125 || res.ReplyInterfaceUtilization != 0.7075 || res.RequestsServed != 3123 {
+		t.Errorf("small config diverged from capture: util=%v reply=%v served=%d",
 			res.MemUtilization, res.ReplyInterfaceUtilization, res.RequestsServed)
 	}
-	if len(res.UtilSeries) != 20 || res.UtilSeries[0] != 0.6625 || res.UtilSeries[19] != 0.785 {
+	if len(res.UtilSeries) != 20 || res.UtilSeries[0] != 0.69 || res.UtilSeries[19] != 0.7475 {
 		t.Errorf("small config UtilSeries diverged: len=%d first=%v last=%v",
 			len(res.UtilSeries), res.UtilSeries[0], res.UtilSeries[len(res.UtilSeries)-1])
 	}
@@ -143,8 +147,8 @@ func TestGPUSimGoldenResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if def.MemUtilization != 0.17255 || def.ReplyInterfaceUtilization != 0.5177 || def.RequestsServed != 22807 {
-		t.Errorf("default config diverged from pre-refactor capture: util=%v reply=%v served=%d",
+	if def.MemUtilization != 0.17585833333333334 || def.ReplyInterfaceUtilization != 0.52765 || def.RequestsServed != 23280 {
+		t.Errorf("default config diverged from capture: util=%v reply=%v served=%d",
 			def.MemUtilization, def.ReplyInterfaceUtilization, def.RequestsServed)
 	}
 }

@@ -270,6 +270,20 @@ func NewMesh(cfg MeshConfig) (*Mesh, error) {
 // Nodes returns the node count.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
 
+// Config returns the mesh's configuration (for audit tooling).
+func (m *Mesh) Config() MeshConfig { return m.cfg }
+
+// VisitFIFOs calls fn for every router input FIFO with its current
+// occupancy and capacity. It is an audit tap for invariant checkers
+// (internal/simcheck) and is not called on the simulation hot path.
+func (m *Mesh) VisitFIFOs(fn func(node, port, occupancy, capacity int)) {
+	for node, r := range m.routers {
+		for p := 0; p < numPorts; p++ {
+			fn(node, p, len(r.in[p].q), r.in[p].cap)
+		}
+	}
+}
+
 // Cycle returns the current simulation cycle.
 func (m *Mesh) Cycle() int64 { return m.cycle }
 
@@ -444,10 +458,18 @@ func (m *Mesh) Step() {
 	m.cycle++
 }
 
-// commitGrant records wormhole ownership of an output by an input.
+// commitGrant records wormhole ownership of an output by an input. The
+// round-robin pointer advances here, on a committed head-flit grant, not
+// in pickInput: a pick can still lose to sink refusal or exhausted
+// downstream credit, and rotating priority past an unserved input skews
+// fairness under back-pressure (see
+// TestRoundRobinPointerHoldsOnRefusedGrant).
 func (m *Mesh) commitGrant(r *router, out, in int, f *flit) {
 	if f.seq == 0 {
 		r.outOwner[out] = in
+		if m.cfg.Arbiter == RoundRobin {
+			r.rr[out] = in
+		}
 	}
 }
 
@@ -490,7 +512,6 @@ func (m *Mesh) pickInput(r *router, out int) int {
 			if f.seq != 0 || m.route(r.node, f.pkt.Dst) != out {
 				continue
 			}
-			r.rr[out] = p
 			return p
 		}
 		return -1

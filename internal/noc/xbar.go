@@ -141,6 +141,23 @@ func NewXbar(cfg XbarConfig) (*Xbar, error) {
 // Nodes returns the compute-node count.
 func (x *Xbar) Nodes() int { return x.cfg.Clusters * x.cfg.NodesPerCluster }
 
+// Config returns the crossbar's configuration (read-only audit tap; see
+// Mesh.Config).
+func (x *Xbar) Config() XbarConfig { return x.cfg }
+
+// VisitVOQs calls fn for every hub virtual output queue with its
+// current occupancy and depth bound. It is a read-only audit tap for
+// per-cycle invariant checks (VOQ occupancy <= VOQDepth; flit
+// conservation). Visit order is deterministic: cluster-major, then
+// port.
+func (x *Xbar) VisitVOQs(fn func(cluster, port, occupancy, depth int)) {
+	for c := range x.voq {
+		for p := range x.voq[c] {
+			fn(c, p, len(x.voq[c][p]), x.cfg.VOQDepth)
+		}
+	}
+}
+
 // ClusterOf returns the cluster hosting a node.
 func (x *Xbar) ClusterOf(node int) int { return node / x.cfg.NodesPerCluster }
 
@@ -190,6 +207,13 @@ func (x *Xbar) Step() {
 			n := copy(q, q[1:])
 			q[n] = xbarFlit{}
 			x.voq[hub][port] = q[:n]
+			// The round-robin pointer advances here, on the committed
+			// grant — pickHub is a pure pick. Same contract as the mesh's
+			// commitGrant: priority only rotates past a hub that was
+			// actually served.
+			if x.cfg.Arbiter == RoundRobin {
+				x.rrHub[port] = hub
+			}
 			x.AcceptedFlits[port]++
 			x.obs.voqFlits--
 			if x.obs.portGrants != nil {
@@ -262,10 +286,15 @@ func (x *Xbar) pickHub(port int) int {
 		}
 		return best
 	default:
+		// Pure pick: the pointer advances at the drain site in Step, only
+		// on an actual grant (aligned with the mesh's pickInput contract).
+		// In this topology every pick is drained the same cycle, so the
+		// split is behaviour-preserving; it keeps the two arbiters
+		// structurally identical so neither can drift into advancing on a
+		// masked candidate.
 		for i := 1; i <= x.cfg.Clusters; i++ {
 			c := (x.rrHub[port] + i) % x.cfg.Clusters
 			if len(x.voq[c][port]) > 0 {
-				x.rrHub[port] = c
 				return c
 			}
 		}

@@ -48,6 +48,49 @@ func TestXbarInjectValidation(t *testing.T) {
 	}
 }
 
+// TestXbarRoundRobinAlternatesUnderEqualBacklog pins the crossbar's
+// round-robin contract after pickHub was split into a pure pick with
+// the pointer advanced at the drain site (the mesh arbiter's
+// commitGrant shape): with two clusters holding equal backlogs for one
+// port, service must alternate strictly, giving each cluster exactly
+// half the grants — the pointer moves once per committed grant, never
+// on a scan that granted nothing.
+func TestXbarRoundRobinAlternatesUnderEqualBacklog(t *testing.T) {
+	x, err := NewXbar(XbarConfig{
+		Clusters: 2, NodesPerCluster: 1, MemPorts: 1,
+		HubCapacity: 4, PortCapacity: 1, VOQDepth: 16, Arbiter: RoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const backlog = 6
+	for i := 0; i < backlog; i++ {
+		if _, err := x.Inject(0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := x.Inject(1, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the hubs stage flits, then watch the port drain one per cycle:
+	// after every two cycles the clusters' delivered counts must be equal.
+	x.Step()
+	prev0, prev1 := x.AcceptedPackets[0], x.AcceptedPackets[1]
+	for c := 0; c < 2*backlog; c += 2 {
+		x.Step()
+		x.Step()
+		d0, d1 := x.AcceptedPackets[0]-prev0, x.AcceptedPackets[1]-prev1
+		if d0 != d1 {
+			t.Fatalf("after cycle pair %d clusters drained %d vs %d; round-robin must alternate grants",
+				c, d0, d1)
+		}
+		prev0, prev1 = x.AcceptedPackets[0], x.AcceptedPackets[1]
+	}
+	if x.AcceptedPackets[0] != backlog || x.AcceptedPackets[1] != backlog {
+		t.Errorf("delivered %d/%d packets, want %d each", x.AcceptedPackets[0], x.AcceptedPackets[1], backlog)
+	}
+}
+
 // TestXbarAgeBasedEqualAgeTieBreak pins the crossbar arbiter's
 // equal-age tie-break to the lowest packet ID. The packet in the
 // higher-numbered cluster is injected first (lower ID), so a

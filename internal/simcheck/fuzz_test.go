@@ -1,0 +1,132 @@
+package simcheck
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Case generation is a pure function of the seed: the reproducer
+// contract depends on it.
+func TestGenCaseDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, b := GenCase(seed), GenCase(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d generated two different cases", seed)
+		}
+		if a.Kind != "mesh" && a.Kind != "xbar" {
+			t.Fatalf("seed %d generated kind %q", seed, a.Kind)
+		}
+		for i := 1; i < len(a.Injections); i++ {
+			if a.Injections[i].Cycle < a.Injections[i-1].Cycle {
+				t.Fatalf("seed %d schedule not sorted by cycle", seed)
+			}
+		}
+	}
+}
+
+// A slice of the CI sweep runs inside the unit suite so `go test`
+// alone exercises the fuzz path.
+func TestFuzzSweepSmoke(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rep, err := RunCase(GenCase(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("seed %d violated invariants:\n%v", seed, rep.Violations)
+		}
+		if !rep.Drained {
+			t.Fatalf("seed %d failed to drain", seed)
+		}
+	}
+}
+
+// Both sabotage modes must be caught — this is what -break-invariant
+// stakes CI on.
+func TestSabotageModesDetected(t *testing.T) {
+	base := GenCase(1)
+	for base.Kind != "mesh" {
+		base = GenCase(base.Seed + 1)
+	}
+	for _, mode := range []string{SabotageDoubleTail, SabotageDropRecord} {
+		c := base
+		c.Sabotage = mode
+		rep, err := RunCase(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Ok() {
+			t.Errorf("sabotage %q went undetected", mode)
+		}
+	}
+	if err := (&MeshAuditor{}).SetSabotage("nonsense"); err == nil {
+		t.Error("unknown sabotage mode accepted")
+	}
+}
+
+// Shrinking must preserve the failure while reducing the schedule,
+// and never invent a failure on a passing case.
+func TestShrinkMinimizesFailingCase(t *testing.T) {
+	c := GenCase(2)
+	for c.Kind != "mesh" || len(c.Injections) < 40 {
+		c = GenCase(c.Seed + 1)
+	}
+	c.Sabotage = SabotageDoubleTail
+	shrunk := Shrink(c)
+	if len(shrunk.Injections) >= len(c.Injections) {
+		t.Fatalf("shrink did not reduce: %d -> %d injections", len(c.Injections), len(shrunk.Injections))
+	}
+	rep, err := RunCase(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("shrunk case no longer fails")
+	}
+
+	clean := GenCase(1)
+	if got := Shrink(clean); !reflect.DeepEqual(got, clean) {
+		t.Fatal("shrink modified a passing case")
+	}
+}
+
+// The reproducer must be a recognizable, complete snippet for the
+// exact case.
+func TestReproducerRendersCase(t *testing.T) {
+	c := GenCase(3)
+	for c.Kind != "mesh" {
+		c = GenCase(c.Seed + 1)
+	}
+	c.RefusePct = 17
+	src := Reproducer(c)
+	for _, want := range []string{
+		"simcheck.Case{", "noc.MeshConfig{", "RefusePct: 17",
+		"simcheck.RunCase(c)", "Injections: []simcheck.Injection{",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("reproducer missing %q:\n%s", want, src)
+		}
+	}
+	x := GenCase(1)
+	for x.Kind != "xbar" {
+		x = GenCase(x.Seed + 1)
+	}
+	if !strings.Contains(Reproducer(x), "noc.XbarConfig{") {
+		t.Error("xbar reproducer missing its config")
+	}
+}
+
+func TestRunCaseRejectsMalformedCases(t *testing.T) {
+	if _, err := RunCase(Case{Kind: "ring"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	x := GenCase(1)
+	for x.Kind != "xbar" {
+		x = GenCase(x.Seed + 1)
+	}
+	x.Sabotage = SabotageDoubleTail
+	if _, err := RunCase(x); err == nil {
+		t.Error("xbar sabotage accepted despite having no delivery tap")
+	}
+}

@@ -1,0 +1,119 @@
+package simcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"gpunoc/internal/noc"
+)
+
+// shrinkBudget caps how many candidate cases one Shrink call executes.
+// Each candidate is a full audited run; the cap keeps shrinking a
+// pathological case bounded while still converging for realistic ones
+// (ddmin needs O(n log n) runs on n injections).
+const shrinkBudget = 400
+
+// Shrink reduces a failing case to a (locally) minimal one that still
+// violates an invariant: delta-debugging over the injection schedule,
+// then flit-count reduction, then dropping the back-pressure profile.
+// The input case is returned unchanged if it does not fail, so Shrink
+// never invents a failure.
+func Shrink(c Case) Case {
+	budget := shrinkBudget
+	fails := func(cand Case) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		rep, err := RunCase(cand)
+		return err == nil && !rep.Ok()
+	}
+	if !fails(c) {
+		return c
+	}
+	cur := c
+	// ddmin over injections: try dropping chunks, halving the chunk
+	// size when no chunk can be removed.
+	for chunk := len(cur.Injections) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(cur.Injections); {
+			cand := cur
+			cand.Injections = make([]Injection, 0, len(cur.Injections)-chunk)
+			cand.Injections = append(cand.Injections, cur.Injections[:start]...)
+			cand.Injections = append(cand.Injections, cur.Injections[start+chunk:]...)
+			if fails(cand) {
+				cur = cand
+				removed = true
+				// Do not advance: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	// Reduce flit counts one injection at a time.
+	for i := range cur.Injections {
+		for cur.Injections[i].Flits > 1 {
+			cand := cur
+			cand.Injections = append([]Injection(nil), cur.Injections...)
+			cand.Injections[i].Flits--
+			if !fails(cand) {
+				break
+			}
+			cur = cand
+		}
+	}
+	// Drop back-pressure if the failure survives without it.
+	if cur.RefusePct > 0 {
+		cand := cur
+		cand.RefusePct = 0
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// Reproducer renders a case as a compilable Go snippet that re-runs
+// it under the harness — paste it into a _test.go next to this
+// package and the failure replays exactly.
+func Reproducer(c Case) string {
+	var b strings.Builder
+	b.WriteString("c := simcheck.Case{\n")
+	fmt.Fprintf(&b, "\tSeed: %d,\n\tKind: %q,\n", c.Seed, c.Kind)
+	switch c.Kind {
+	case "xbar":
+		fmt.Fprintf(&b, "\tXbar: noc.XbarConfig{Clusters: %d, NodesPerCluster: %d, MemPorts: %d, HubCapacity: %d, PortCapacity: %d, VOQDepth: %d, Arbiter: noc.%s},\n",
+			c.Xbar.Clusters, c.Xbar.NodesPerCluster, c.Xbar.MemPorts,
+			c.Xbar.HubCapacity, c.Xbar.PortCapacity, c.Xbar.VOQDepth, arbiterName(c.Xbar.Arbiter))
+	default:
+		fmt.Fprintf(&b, "\tMesh: noc.MeshConfig{Width: %d, Height: %d, BufferFlits: %d, Arbiter: noc.%s},\n",
+			c.Mesh.Width, c.Mesh.Height, c.Mesh.BufferFlits, arbiterName(c.Mesh.Arbiter))
+	}
+	if c.RefusePct > 0 {
+		fmt.Fprintf(&b, "\tRefusePct: %d,\n", c.RefusePct)
+	}
+	if c.Sabotage != SabotageNone {
+		fmt.Fprintf(&b, "\tSabotage: %q,\n", c.Sabotage)
+	}
+	fmt.Fprintf(&b, "\tDrainCycles: %d,\n", c.DrainCycles)
+	b.WriteString("\tInjections: []simcheck.Injection{\n")
+	for _, inj := range c.Injections {
+		fmt.Fprintf(&b, "\t\t{Cycle: %d, Src: %d, Dst: %d, Flits: %d},\n",
+			inj.Cycle, inj.Src, inj.Dst, inj.Flits)
+	}
+	b.WriteString("\t},\n}\n")
+	b.WriteString("rep, err := simcheck.RunCase(c)\n")
+	b.WriteString("// expect err == nil && !rep.Ok()\n")
+	return b.String()
+}
+
+// arbiterName renders the arbiter as its exported constant name.
+func arbiterName(a noc.Arbiter) string {
+	if a == noc.AgeBased {
+		return "AgeBased"
+	}
+	return "RoundRobin"
+}
