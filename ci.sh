@@ -45,8 +45,10 @@ fi
 rm -rf "$smokedir"
 trap - EXIT
 
-echo "==> go test -race"
-go test -race ./...
+echo "==> go test -race -shuffle=on"
+# -shuffle randomizes test (and subtest-group) execution order every
+# run, so inter-test state dependencies fail in CI instead of lurking.
+go test -race -shuffle=on ./...
 
 echo "==> nocfuzz invariant sweep (race)"
 # The differential oracles (zero-load latency, arbiter low-load
@@ -220,5 +222,78 @@ if ! grep -q "drained" "$tmpdir/deadline.log"; then
 	cat "$tmpdir/deadline.log" >&2
 	exit 1
 fi
+
+echo "==> nocserve 3-node cluster smoke (single-hop forwarding, one simulation cluster-wide)"
+# Three sharded nodes on adjacent ports; the same tuple fetched once
+# through each node must return byte-identical bodies, simulate exactly
+# once across the cluster (resultstore/miss sums to 1), and forward
+# exactly twice (the two non-owner entries). Then SIGTERM all three and
+# require a clean drain.
+cport=$((20000 + $$ % 20000))
+c1="http://127.0.0.1:$cport"
+c2="http://127.0.0.1:$((cport + 1))"
+c3="http://127.0.0.1:$((cport + 2))"
+cpeers="$c1,$c2,$c3"
+i=1
+for u in "$c1" "$c2" "$c3"; do
+	"$tmpdir/nocserve" -addr "${u#http://}" -peers "$cpeers" -self "$u" \
+		2>"$tmpdir/cluster$i.log" &
+	eval "cpid$i=\$!"
+	i=$((i + 1))
+done
+trap 'kill "$serve_pid" "$deadline_pid" "$cpid1" "$cpid2" "$cpid3" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+for i in 1 2 3; do
+	for _ in $(seq 1 100); do
+		grep -q "listening on" "$tmpdir/cluster$i.log" && break
+		sleep 0.1
+	done
+	if ! grep -q "listening on" "$tmpdir/cluster$i.log"; then
+		echo "cluster node $i did not start:" >&2
+		cat "$tmpdir/cluster$i.log" >&2
+		exit 1
+	fi
+done
+i=1
+for u in "$c1" "$c2" "$c3"; do
+	if ! curl -sf -D "$tmpdir/cluster$i.hdr" "$u/v1/v100/fig1?quick=1" >"$tmpdir/cluster$i.json"; then
+		echo "cluster fetch via node $i failed" >&2
+		exit 1
+	fi
+	if ! grep -qi '^X-Cache: \(miss\|hit\|coalesced\|spill\)' "$tmpdir/cluster$i.hdr"; then
+		echo "cluster response via node $i lacks an X-Cache outcome:" >&2
+		cat "$tmpdir/cluster$i.hdr" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+done
+if ! cmp -s "$tmpdir/cluster1.json" "$tmpdir/cluster2.json" || ! cmp -s "$tmpdir/cluster1.json" "$tmpdir/cluster3.json"; then
+	echo "cluster nodes served different bytes for one key" >&2
+	exit 1
+fi
+miss_total=0
+fwd_total=0
+for u in "$c1" "$c2" "$c3"; do
+	m=$(curl -sf "$u/metricz" | sed -n 's/.*"resultstore\/miss": \([0-9]*\).*/\1/p')
+	f=$(curl -sf "$u/metricz" | sed -n 's/.*"cluster\/forwarded": \([0-9]*\).*/\1/p')
+	miss_total=$((miss_total + ${m:-0}))
+	fwd_total=$((fwd_total + ${f:-0}))
+done
+if [ "$miss_total" != "1" ]; then
+	echo "cluster simulated the key $miss_total times, want exactly 1 cluster-wide" >&2
+	exit 1
+fi
+if [ "$fwd_total" != "2" ]; then
+	echo "cluster forwarded $fwd_total requests for 3 fetches of one key, want 2" >&2
+	exit 1
+fi
+kill -TERM "$cpid1" "$cpid2" "$cpid3"
+wait "$cpid1" "$cpid2" "$cpid3" || true
+for i in 1 2 3; do
+	if ! grep -q "drained" "$tmpdir/cluster$i.log"; then
+		echo "cluster node $i did not drain on SIGTERM:" >&2
+		cat "$tmpdir/cluster$i.log" >&2
+		exit 1
+	fi
+done
 
 echo "==> all checks passed"

@@ -45,7 +45,23 @@
 // first requests hit a warm cache; it stops at the next pair boundary
 // on SIGINT/SIGTERM and logs how many pairs were warmed, failed, and
 // skipped. -drain bounds how long shutdown waits for in-flight requests
-// and fills after SIGINT/SIGTERM.
+// and fills after SIGINT/SIGTERM; /healthz answers 503 from the moment
+// drain begins so balancers stop routing before the listener closes.
+//
+// Sharded cluster mode (off by default):
+//
+//	-peers URL,URL,...   the full member list, this node included
+//	-self URL            this node's base URL as it appears in -peers
+//
+// Each result key is owned by exactly one member (rendezvous hashing
+// over the key's content address); a request landing on a non-owner
+// forwards one hop to the owner (X-Noc-Forwarded guards against loops)
+// so each cold key is simulated once cluster-wide. An unreachable or
+// draining owner degrades the node to computing locally — identical
+// bytes, counted as cluster/fallback_local — so the cluster behaves as
+// N independent nodes rather than failing. Forward/mis-route/unhealthy
+// counters and a forward-latency histogram appear under cluster/ on
+// /metricz.
 package main
 
 import (
@@ -57,9 +73,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"gpunoc/internal/cluster"
 	"gpunoc/internal/core"
 	"gpunoc/internal/gpu"
 	"gpunoc/internal/obs"
@@ -82,10 +100,15 @@ func main() {
 		negativeTTL = flag.Duration("negative-ttl", 0, "window during which retries of a just-failed key are refused without re-simulating; 0 disables")
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (full request read); 0 disables")
 		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections; 0 disables")
+		peers       = flag.String("peers", "", "comma-separated base URLs of every cluster member, this node included; empty runs single-node")
+		self        = flag.String("self", "", "this node's base URL exactly as listed in -peers; required with -peers")
 	)
 	flag.Parse()
 	if *prewarm != "" && *prewarm != "quick" && *prewarm != "full" {
 		fatal(fmt.Errorf("-prewarm must be quick, full, or empty (got %q)", *prewarm))
+	}
+	if (*peers == "") != (*self == "") {
+		fatal(errors.New("-peers and -self must be set together"))
 	}
 
 	// The signal context is the store's Base: cancelling it (SIGINT,
@@ -110,8 +133,26 @@ func main() {
 		fatal(err)
 	}
 	cfg := serverConfig{requestTimeout: *reqTimeout, maxInflight: *maxInflight, queueDepth: *queueDepth}
+	sv := newServer(store, reg, cfg)
+	if *peers != "" {
+		cl, err := cluster.New(cluster.Options{
+			Self:       *self,
+			Peers:      strings.Split(*peers, ","),
+			Retries:    2,
+			Backoff:    100 * time.Millisecond,
+			RetryAfter: 5 * time.Second,
+			Clock:      func() time.Duration { return time.Since(t0) },
+			Sleep:      time.Sleep,
+			Obs:        reg.Scope("cluster"),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		sv.cluster = cl
+		fmt.Fprintf(os.Stderr, "nocserve: cluster member %s of %v\n", *self, cl.Router.Peers())
+	}
 	srv := &http.Server{
-		Handler: newServer(store, reg, cfg).handler(),
+		Handler: sv.handler(),
 		// ReadHeaderTimeout alone closes the classic slowloris hole: a
 		// client trickling header bytes can no longer pin a connection
 		// (and its goroutine) forever. ReadTimeout then bounds the whole
@@ -149,6 +190,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Flip /healthz to 503 before the listener starts refusing: balancers
+	// polling health take the node out of rotation during the drain
+	// window instead of discovering the closure by connection error.
+	sv.beginDrain()
 	fmt.Fprintf(os.Stderr, "nocserve: shutting down, draining for up to %s\n", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

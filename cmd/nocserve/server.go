@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"gpunoc/internal/cluster"
 	"gpunoc/internal/core"
 	"gpunoc/internal/gpu"
 	"gpunoc/internal/obs"
@@ -84,14 +86,23 @@ type server struct {
 	reg *obs.Registry
 	cfg serverConfig
 	adm *admission
+	// cluster, when non-nil, shards the key space across peers: non-owner
+	// requests forward one hop to the owner, falling back to local
+	// computation when the owner is unhealthy. Nil means single-node.
+	cluster *cluster.Cluster
+	// draining flips when graceful shutdown begins; /healthz answers 503
+	// from then on so balancers stop routing into the drain window while
+	// in-flight and straggler requests still complete.
+	draining atomic.Bool
 
-	requests    *obs.Counter
-	errors      *obs.Counter
-	shed        *obs.Counter
-	timedOut    *obs.Counter
-	canceled    *obs.Counter
-	latencyMS   *obs.Histogram
-	queueWaitMS *obs.Histogram
+	requests      *obs.Counter
+	errors        *obs.Counter
+	shed          *obs.Counter
+	timedOut      *obs.Counter
+	canceled      *obs.Counter
+	drainingGauge *obs.Gauge
+	latencyMS     *obs.Histogram
+	queueWaitMS   *obs.Histogram
 }
 
 // newServer wires a server over a store and registry (both required by
@@ -99,17 +110,28 @@ type server struct {
 func newServer(store *resultstore.Store, reg *obs.Registry, cfg serverConfig) *server {
 	h := reg.Scope("http")
 	return &server{
-		store:       store,
-		reg:         reg,
-		cfg:         cfg,
-		adm:         newAdmission(cfg.maxInflight, cfg.queueDepth),
-		requests:    h.Counter("requests"),
-		errors:      h.Counter("errors"),
-		shed:        h.Counter("shed"),
-		timedOut:    h.Counter("timed_out"),
-		canceled:    h.Counter("canceled"),
-		latencyMS:   h.Histogram("latency_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
-		queueWaitMS: h.Histogram("queue_wait_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
+		store:         store,
+		reg:           reg,
+		cfg:           cfg,
+		adm:           newAdmission(cfg.maxInflight, cfg.queueDepth),
+		requests:      h.Counter("requests"),
+		errors:        h.Counter("errors"),
+		shed:          h.Counter("shed"),
+		timedOut:      h.Counter("timed_out"),
+		canceled:      h.Counter("canceled"),
+		drainingGauge: h.Gauge("draining"),
+		latencyMS:     h.Histogram("latency_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
+		queueWaitMS:   h.Histogram("queue_wait_ms", []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}),
+	}
+}
+
+// beginDrain marks the server as draining: from this call on /healthz
+// answers 503 so balancers take the node out of rotation, while result
+// endpoints keep serving whatever still arrives until the listener
+// closes. Idempotent.
+func (s *server) beginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainingGauge.Set(1)
 	}
 }
 
@@ -174,6 +196,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	quick := r.URL.Query().Get("quick") == "1"
+	key := resultstore.Key{GPU: cfg.Name, Exp: e.ID, Quick: quick}
 
 	// Request-scoped cancellation: the client's connection context,
 	// tightened by the configured per-request deadline. It governs this
@@ -184,6 +207,13 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
 		defer cancel()
+	}
+	// Sharded tier: a non-owner key forwards one hop to its owner before
+	// consuming a local admission slot — the simulation work (and its
+	// admission accounting) belongs to the owner. Unreachable owners fall
+	// through to the local path below: degraded, never down.
+	if s.cluster != nil && s.forwardToOwner(ctx, w, r, key) {
+		return
 	}
 	queuedAt := time.Now()
 	if err := s.adm.acquire(ctx); err != nil {
@@ -204,7 +234,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	defer s.adm.release()
 	s.queueWaitMS.Observe(time.Since(queuedAt).Milliseconds())
 
-	entry, outcome, err := s.store.GetContext(ctx, resultstore.Key{GPU: cfg.Name, Exp: e.ID, Quick: quick})
+	entry, outcome, err := s.store.GetContext(ctx, key)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -274,8 +304,60 @@ func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// forwardToOwner routes one validated result request through the shard
+// router. It returns true when it wrote the response (a completed
+// forward) and false when the request must be served locally: this node
+// owns the key, the request already hopped once, or the owner is
+// unhealthy/unreachable (fallback_local — the result is deterministic,
+// so local bytes are identical and only the one-simulation-per-cluster
+// economy is lost until the peer recovers).
+func (s *server) forwardToOwner(ctx context.Context, w http.ResponseWriter, r *http.Request, key resultstore.Key) bool {
+	c := s.cluster
+	// The shard key is the result's content address: the same SHA-256
+	// derivation the spill files are named by, so routing, caching, and
+	// spill all agree on identity.
+	owner := c.Router.Owner(key.ContentAddress())
+	if c.Router.IsSelf(owner) {
+		return false
+	}
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		// Single-hop rule: an already-forwarded request is served where
+		// it lands even when this node disagrees about ownership, so
+		// divergent peer sets mis-route at most once and can never loop.
+		c.MisRouted.Inc()
+		return false
+	}
+	if !c.Pool.Healthy(owner) {
+		c.FallbackLocal.Inc()
+		return false
+	}
+	resp, err := c.Forward(ctx, owner, r.URL.RequestURI())
+	if err != nil {
+		c.Pool.MarkDown(owner)
+		c.FallbackLocal.Inc()
+		return false
+	}
+	c.Pool.MarkUp(owner)
+	c.Forwarded.Inc()
+	for _, h := range []string{"Content-Type", "X-Cache"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Noc-Owner", owner)
+	w.Header().Set("Content-Length", fmt.Sprint(len(resp.Body)))
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+	return true
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = fmt.Fprintln(w, "draining")
+		return
+	}
 	_, _ = fmt.Fprintln(w, "ok")
 }
 

@@ -317,3 +317,46 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("GET /healthz = (%d, %q), want (200, ok)", status, body)
 	}
 }
+
+// TestHealthzDuringDrain is the balancer contract: the moment graceful
+// drain begins, /healthz flips to 503 — before the listener closes — so
+// load balancers stop routing new traffic into the drain window, while
+// result requests already in flight (or stragglers racing the drain)
+// are still answered. Regression test for the window where healthz
+// stayed 200 until the listener closed.
+func TestHealthzDuringDrain(t *testing.T) {
+	reg := obs.New()
+	store, err := resultstore.New(resultstore.Options{
+		Compute: func(_ context.Context, key resultstore.Key) (*resultstore.Entry, error) {
+			b := []byte("{}\n")
+			return &resultstore.Entry{JSON: b, CSV: b, Text: b, Markdown: b}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := newServer(store, reg, serverConfig{})
+	ts := httptest.NewServer(sv.handler())
+	defer ts.Close()
+
+	if status, _, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("pre-drain /healthz = %d, want 200", status)
+	}
+	sv.beginDrain()
+	sv.beginDrain() // idempotent
+	status, _, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz = %d, want 503", status)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("draining /healthz body = %q, want it to say draining", body)
+	}
+	if got := reg.Scope("http").Gauge("draining").Value(); got != 1 {
+		t.Errorf("http/draining gauge = %d, want 1", got)
+	}
+	// Stragglers inside the drain window are still served: only the
+	// health probe refuses, not the result path.
+	if status, _, _ := get(t, ts.URL+"/v1/v100/fig1?quick=1"); status != http.StatusOK {
+		t.Errorf("result request during drain = %d, want 200", status)
+	}
+}

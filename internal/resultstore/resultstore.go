@@ -88,8 +88,11 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%s?quick=%v", strings.ToLower(string(k.GPU)), k.Exp, k.Quick)
 }
 
-// ContentAddress returns the hex SHA-256 of the canonical key string:
-// the spill file's basename.
+// ContentAddress returns the hex SHA-256 of the canonical key string.
+// It is the key's identity everywhere identity matters: the spill
+// file's basename on disk, and the shard key internal/cluster's
+// rendezvous router hashes to pick the key's owning node — so routing,
+// caching, and spill all agree on what "the same result" means.
 func (k Key) ContentAddress() string {
 	sum := sha256.Sum256([]byte(k.String()))
 	return hex.EncodeToString(sum[:])
@@ -572,7 +575,13 @@ func (s *Store) spillPath(key Key) string {
 }
 
 // loadSpill reads a spilled entry, verifying the stored key matches the
-// requested one (the address is a hash; trust but verify).
+// requested one (the address is a hash; trust but verify). A corrupt
+// file — truncated write, bit rot, or content that hashes to a
+// different key than its name claims — is counted, deleted, and dropped
+// from the byte accounting, never loaded: leaving it in place would
+// make every future cold request re-read and re-reject it, and its
+// bytes would be double-counted when the recomputed entry re-spills to
+// the same address.
 func (s *Store) loadSpill(key Key) (*Entry, bool) {
 	if s.opts.SpillDir == "" {
 		return nil, false
@@ -584,9 +593,29 @@ func (s *Store) loadSpill(key Key) (*Entry, bool) {
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Key != key {
 		s.spillErrs.Inc()
+		s.discardSpill(key)
 		return nil, false
 	}
 	return &e, true
+}
+
+// discardSpill removes a corrupt spill file and forgets its accounting
+// record. Best-effort: the file may already be gone.
+func (s *Store) discardSpill(key Key) {
+	name := key.ContentAddress() + ".json"
+	if err := os.Remove(s.spillPath(key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.spillErrs.Inc()
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	for i, f := range s.spillFiles {
+		if f.name == name {
+			s.spillBytes -= f.size
+			s.spillFiles = append(s.spillFiles[:i], s.spillFiles[i+1:]...)
+			s.spillBytesGauge.Set(s.spillBytes)
+			break
+		}
+	}
 }
 
 // storeSpill writes an entry to the spill, atomically via a temp file so

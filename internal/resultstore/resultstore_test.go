@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -622,5 +624,111 @@ func TestKeyCanonicalForm(t *testing.T) {
 	}
 	if len(k.ContentAddress()) != 64 {
 		t.Errorf("content address %q is not hex SHA-256", k.ContentAddress())
+	}
+}
+
+// TestWarmRestartSkipsCorruptSpill is the crash-and-corrupt drill: a
+// store restarts onto a spill directory holding a truncated file, a
+// file whose content belongs to a different key than its address
+// claims, and a stray temp file from a crashed atomic write. Every
+// corrupt entry must be skipped with a spill_err tick — recomputed,
+// never loaded, never a crash — and deleted so the accounting stays
+// consistent when the recomputed entry re-spills to the same address.
+func TestWarmRestartSkipsCorruptSpill(t *testing.T) {
+	dir := t.TempDir()
+	comp1 := &countingComputer{pad: 32}
+	s1, err := New(Options{Compute: comp1.compute, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kTrunc := key(gpu.GenV100, "fig1")
+	kSwap := key(gpu.GenV100, "fig2")
+	kGood := key(gpu.GenV100, "fig3")
+	for _, k := range []Key{kTrunc, kSwap, kGood} {
+		if _, _, err := s1.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Corruption 1: truncate kTrunc's spill file mid-JSON.
+	truncPath := filepath.Join(dir, kTrunc.ContentAddress()+".json")
+	data, err := os.ReadFile(truncPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption 2: content-hash mismatch — kSwap's address holds bytes
+	// that deserialize to kGood's entry (valid JSON, wrong identity).
+	goodBytes, err := os.ReadFile(filepath.Join(dir, kGood.ContentAddress()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapPath := filepath.Join(dir, kSwap.ContentAddress()+".json")
+	if err := os.WriteFile(swapPath, goodBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption 3: a stray temp file from a crashed atomic write.
+	strayPath := filepath.Join(dir, "spill-crashed.tmp")
+	if err := os.WriteFile(strayPath, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	comp2 := &countingComputer{pad: 32}
+	reg := obs.New()
+	s2, err := New(Options{Compute: comp2.compute, SpillDir: dir, Obs: reg.Scope("resultstore")})
+	if err != nil {
+		t.Fatalf("warm restart over a corrupt spill dir: %v", err)
+	}
+	if _, err := os.Stat(strayPath); !errors.Is(err, os.ErrNotExist) {
+		t.Error("stray tmp file survived adoption")
+	}
+
+	// The truncated key recomputes (miss, not spill) and the corrupt file
+	// is replaced by the fresh write.
+	e, out, err := s2.Get(kTrunc)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("Get(truncated) = (%s, %v), want recompute miss", out, err)
+	}
+	if !bytes.Equal(e.JSON, fakeEntry(kTrunc, 32).JSON) {
+		t.Error("recomputed entry for the truncated key has wrong bytes")
+	}
+	// The mismatched key likewise recomputes — the imposter bytes must
+	// never be served under kSwap's identity.
+	e, out, err = s2.Get(kSwap)
+	if err != nil || out != OutcomeMiss {
+		t.Fatalf("Get(mismatched) = (%s, %v), want recompute miss", out, err)
+	}
+	if !bytes.Equal(e.JSON, fakeEntry(kSwap, 32).JSON) {
+		t.Error("mismatched-address key served the imposter's bytes")
+	}
+	// The intact key still loads from spill.
+	if _, out, err := s2.Get(kGood); err != nil || out != OutcomeSpill {
+		t.Fatalf("Get(intact) = (%s, %v), want spill", out, err)
+	}
+	if got := reg.Scope("resultstore").Counter("spill_err").Value(); got != 2 {
+		t.Errorf("spill_err = %d, want 2 (one truncated, one mismatched)", got)
+	}
+	if got := comp2.callCount(kGood); got != 0 {
+		t.Errorf("intact key recomputed %d times, want 0", got)
+	}
+
+	// Accounting must match the directory byte-for-byte after the
+	// corrupt files were discarded and the recomputes re-spilled.
+	var onDisk int64
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		info, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += info.Size()
+	}
+	if got := s2.SpillBytes(); got != onDisk {
+		t.Errorf("spill accounting %d bytes, directory holds %d", got, onDisk)
 	}
 }
